@@ -1,0 +1,54 @@
+// Reproduces Figure 1: speedup of the N-body application versus the number
+// of processors, with 100% of memory available, uniprogrammed (plus the
+// Topaz daemon threads).
+//
+// Paper shape: all three systems are below 1.0 on one processor (thread
+// management overhead); the two user-level-thread systems climb nearly
+// linearly to ~4.5+ on six processors while Topaz kernel threads flatten
+// out around 2.5-3; original and modified FastThreads track each other
+// closely, diverging slightly where daemon wakeups preempt the original
+// system's virtual processors.
+
+#include <cstdio>
+
+#include "src/apps/experiments.h"
+#include "src/common/table.h"
+
+int main() {
+  using sa::apps::SystemKind;
+  using sa::common::Table;
+
+  std::printf("Figure 1: Speedup of N-Body Application vs. Number of Processors\n");
+  std::printf("(100%% of memory available, uniprogrammed; speedup relative to a\n");
+  std::printf(" sequential implementation of the same computation)\n\n");
+
+  const SystemKind systems[] = {SystemKind::kTopazThreads, SystemKind::kOrigFastThreads,
+                                SystemKind::kNewFastThreads};
+
+  Table table({"processors", "Topaz threads", "orig FastThreads", "new FastThreads"});
+  sa::apps::NBodyConfig config;
+  sa::apps::DaemonConfig daemons;
+
+  double results[7][3] = {};
+  for (int p = 1; p <= 6; ++p) {
+    for (int s = 0; s < 3; ++s) {
+      const auto r = sa::apps::RunNBody(systems[s], p, config, daemons, 1, 7);
+      results[p][s] = r.speedup;
+    }
+    table.AddRow({Table::Num(p), Table::Num(results[p][0], 2),
+                  Table::Num(results[p][1], 2), Table::Num(results[p][2], 2)});
+  }
+  table.Print();
+
+  std::printf("\nPaper's qualitative checks:\n");
+  std::printf("  all systems < 1.0 at one processor:        %s\n",
+              (results[1][0] < 1 && results[1][1] < 1 && results[1][2] < 1) ? "yes"
+                                                                            : "NO");
+  std::printf("  Topaz flattens (speedup[6] < 3.2):         %s (%.2f)\n",
+              results[6][0] < 3.2 ? "yes" : "NO", results[6][0]);
+  std::printf("  user-level systems reach > 4 at 6 procs:   %s\n",
+              (results[6][1] > 4 && results[6][2] > 4) ? "yes" : "NO");
+  std::printf("  user-level vs Topaz advantage at 6 procs:  %.1fx (paper ~1.8x)\n",
+              results[6][2] / results[6][0]);
+  return 0;
+}

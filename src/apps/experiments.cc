@@ -1,0 +1,101 @@
+#include "src/apps/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/rt/harness.h"
+#include "src/rt/topaz_runtime.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa::apps {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kTopazThreads:
+      return "Topaz threads";
+    case SystemKind::kOrigFastThreads:
+      return "orig FastThreads";
+    case SystemKind::kNewFastThreads:
+      return "new FastThreads";
+  }
+  return "?";
+}
+
+NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& config,
+                        const DaemonConfig& daemons, int copies, uint64_t seed,
+                        kern::Config kernel_config, bool flag_based_cs) {
+  SA_CHECK(copies >= 1);
+  rt::HarnessConfig hc;
+  hc.kernel = kernel_config;
+  // The paper's machine always has six processors; the *application* is
+  // limited to `processors` of them (max_vcpus for the user-level-thread
+  // systems).  Kernel threads are scheduled obliviously, so the Topaz-direct
+  // runs control parallelism with the machine size itself.
+  hc.processors = system == SystemKind::kTopazThreads ? processors
+                                                      : std::max(processors, 6);
+  hc.seed = seed;
+  hc.kernel.mode = system == SystemKind::kNewFastThreads
+                       ? kern::KernelMode::kSchedulerActivations
+                       : kern::KernelMode::kNativeTopaz;
+  rt::Harness h(hc);
+
+  std::vector<std::unique_ptr<rt::Runtime>> runtimes;
+  std::vector<std::unique_ptr<NBodyApp>> apps;
+  for (int c = 0; c < copies; ++c) {
+    const std::string name = "nbody" + std::to_string(c);
+    std::unique_ptr<rt::Runtime> rt;
+    switch (system) {
+      case SystemKind::kTopazThreads:
+        rt = std::make_unique<rt::TopazRuntime>(&h.kernel(), name);
+        break;
+      case SystemKind::kOrigFastThreads: {
+        ult::UltConfig uc;
+        uc.max_vcpus = processors;
+        uc.flag_based_critical_sections = flag_based_cs;
+        rt = std::make_unique<ult::UltRuntime>(&h.kernel(), name,
+                                               ult::BackendKind::kKernelThreads, uc);
+        break;
+      }
+      case SystemKind::kNewFastThreads: {
+        ult::UltConfig uc;
+        uc.max_vcpus = processors;
+        uc.flag_based_critical_sections = flag_based_cs;
+        rt = std::make_unique<ult::UltRuntime>(
+            &h.kernel(), name, ult::BackendKind::kSchedulerActivations, uc);
+        break;
+      }
+    }
+    NBodyConfig app_config = config;
+    app_config.seed = config.seed + static_cast<uint64_t>(c);
+    auto app = std::make_unique<NBodyApp>(app_config);
+    app->set_clock(&h.engine());
+    app->InstallOn(rt.get());
+    h.AddRuntime(rt.get());
+    runtimes.push_back(std::move(rt));
+    apps.push_back(std::move(app));
+  }
+
+  if (daemons.enabled) {
+    h.AddDaemon("daemon", daemons.period, daemons.busy);
+  }
+
+  h.Run();
+
+  NBodyRunResult result;
+  double speedup_sum = 0;
+  for (auto& app : apps) {
+    SA_CHECK(app->done());
+    const sim::Duration elapsed = app->finished_at();
+    result.elapsed += elapsed;
+    result.sequential = app->SequentialTime();
+    speedup_sum += static_cast<double>(app->SequentialTime()) /
+                   static_cast<double>(elapsed);
+    result.cache_misses += app->cache().misses();
+  }
+  result.elapsed /= copies;
+  result.speedup = speedup_sum / copies;
+  result.counters = h.kernel().counters();
+  return result;
+}
+
+}  // namespace sa::apps

@@ -1,0 +1,53 @@
+// Canned experiment setups for the paper's evaluation (Section 5.3):
+// the same N-body application run on the three systems the paper compares —
+// Topaz kernel threads, original FastThreads (user-level threads on kernel
+// threads under the native oblivious scheduler), and modified FastThreads
+// (on scheduler activations) — uniprogrammed or multiprogrammed, with the
+// Topaz daemon threads present.
+
+#ifndef SA_APPS_EXPERIMENTS_H_
+#define SA_APPS_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/nbody_workload.h"
+#include "src/kern/kernel.h"
+
+namespace sa::apps {
+
+enum class SystemKind {
+  kTopazThreads,     // kernel threads used directly
+  kOrigFastThreads,  // user-level threads on kernel threads
+  kNewFastThreads,   // user-level threads on scheduler activations
+};
+
+const char* SystemName(SystemKind kind);
+
+struct DaemonConfig {
+  bool enabled = true;
+  sim::Duration period = sim::Msec(200);
+  sim::Duration busy = sim::Msec(2);
+};
+
+struct NBodyRunResult {
+  sim::Duration elapsed = 0;          // single app, or average of the copies
+  sim::Duration sequential = 0;       // analytic sequential time
+  double speedup = 0;
+  int64_t cache_misses = 0;           // summed over copies
+  kern::KernelCounters counters;      // kernel-side event counts
+};
+
+// Runs `copies` simultaneous copies of the N-body application on `system`
+// with a machine of `processors` processors.  Returns per-run aggregates;
+// the speedup is the mean of each copy's sequential/elapsed (Table 5 runs
+// two copies; Figures 1-2 run one).  `kernel_config` overrides kernel
+// parameters (its mode field is replaced to match `system`).
+NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& config,
+                        const DaemonConfig& daemons, int copies = 1,
+                        uint64_t seed = 1, kern::Config kernel_config = {},
+                        bool flag_based_cs = false);
+
+}  // namespace sa::apps
+
+#endif  // SA_APPS_EXPERIMENTS_H_

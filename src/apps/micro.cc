@@ -1,0 +1,67 @@
+#include "src/apps/micro.h"
+
+#include <vector>
+
+namespace sa::apps {
+
+void SpawnNullFork(rt::Runtime* rt, int n, sim::Duration null_proc) {
+  rt->Spawn(
+      [n, null_proc](rt::ThreadCtx& t) -> sim::Program {
+        int last = -1;
+        for (int i = 0; i < n; ++i) {
+          last = co_await t.Fork(
+              [null_proc](rt::ThreadCtx& c) -> sim::Program {
+                co_await c.Compute(null_proc);  // the null procedure
+              },
+              "null-child");
+        }
+        // Children run FIFO, so the last forked finishes last.
+        co_await t.Join(last);
+      },
+      "null-fork-parent");
+}
+
+void SpawnSignalWait(rt::Runtime* rt, int iters, bool through_kernel) {
+  const int a = through_kernel ? rt->CreateKernelEvent() : rt->CreateCond();
+  const int b = through_kernel ? rt->CreateKernelEvent() : rt->CreateCond();
+
+  // Ponger first: it must be waiting when the pinger's first signal lands.
+  rt->Spawn(
+      [iters, a, b, through_kernel](rt::ThreadCtx& t) -> sim::Program {
+        for (int i = 0; i < iters; ++i) {
+          if (through_kernel) {
+            co_await t.KernelWait(b);
+            co_await t.KernelSignal(a);
+          } else {
+            co_await t.Wait(b);
+            co_await t.Signal(a);
+          }
+        }
+      },
+      "ponger");
+  rt->Spawn(
+      [iters, a, b, through_kernel](rt::ThreadCtx& t) -> sim::Program {
+        for (int i = 0; i < iters; ++i) {
+          if (through_kernel) {
+            co_await t.KernelSignal(b);
+            co_await t.KernelWait(a);
+          } else {
+            co_await t.Signal(b);
+            co_await t.Wait(a);
+          }
+        }
+      },
+      "pinger");
+}
+
+double MeasureNullForkUs(rt::Harness& harness, int n) {
+  const sim::Time elapsed = harness.Run();
+  return sim::ToUsec(elapsed) / n;
+}
+
+double MeasureSignalWaitUs(rt::Harness& harness, int iters) {
+  const sim::Time elapsed = harness.Run();
+  return sim::ToUsec(elapsed) / (2.0 * iters);
+}
+
+}  // namespace sa::apps

@@ -1,0 +1,39 @@
+// The paper's two microbenchmarks (Section 2.1):
+//
+//  * Null Fork — "the time to create, schedule, execute and complete a
+//    process/thread that invokes the null procedure".  A parent forks N null
+//    children and joins the last one; the per-cycle cost is total/N (startup
+//    and the single join amortize away).
+//
+//  * Signal-Wait — "the time for a process/thread to signal a waiting
+//    process/thread, and then wait on a condition".  Two threads ping-pong
+//    through a pair of conditions; each iteration contains two signal-wait
+//    pairs, so the per-pair cost is total/(2*iterations).
+//
+// Both run on a single processor, as in the paper.
+
+#ifndef SA_APPS_MICRO_H_
+#define SA_APPS_MICRO_H_
+
+#include "src/rt/harness.h"
+#include "src/rt/runtime.h"
+
+namespace sa::apps {
+
+// Enqueues the Null Fork workload onto `rt` (call before harness.Run()).
+// `null_proc` is the body cost of the forked thread (the paper's ~7 us
+// procedure call).
+void SpawnNullFork(rt::Runtime* rt, int n, sim::Duration null_proc);
+
+// Enqueues the Signal-Wait ping-pong (two threads, `iters` iterations each).
+// If `through_kernel` is true the synchronization uses kernel events even on
+// user-level-thread runtimes — the Section 5.2 upcall benchmark.
+void SpawnSignalWait(rt::Runtime* rt, int iters, bool through_kernel);
+
+// Runs the harness and reports the per-operation latency in microseconds.
+double MeasureNullForkUs(rt::Harness& harness, int n);
+double MeasureSignalWaitUs(rt::Harness& harness, int iters);
+
+}  // namespace sa::apps
+
+#endif  // SA_APPS_MICRO_H_

@@ -1,0 +1,157 @@
+#include "src/apps/nbody.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace sa::apps {
+
+int QuadTree::NewNode(double cx, double cy, double half) {
+  Node node;
+  node.cx = cx;
+  node.cy = cy;
+  node.half = half;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void QuadTree::Build(const std::vector<Body>& bodies) {
+  nodes_.clear();
+  if (bodies.empty()) {
+    return;
+  }
+  double lo = bodies[0].x, hi = bodies[0].x;
+  for (const Body& b : bodies) {
+    lo = std::min({lo, b.x, b.y});
+    hi = std::max({hi, b.x, b.y});
+  }
+  const double half = std::max((hi - lo) / 2.0, 1e-9) * 1.001;
+  const double cx = (hi + lo) / 2.0;
+  NewNode(cx, cx, half);
+  for (int i = 0; i < static_cast<int>(bodies.size()); ++i) {
+    Insert(0, bodies, i);
+  }
+  Summarize(0, bodies);
+}
+
+void QuadTree::Insert(int node_index, const std::vector<Body>& bodies, int body) {
+  int ni = node_index;
+  for (;;) {
+    Node& node = nodes_[static_cast<size_t>(ni)];
+    if (node.count == 0) {
+      node.body = body;
+      node.count = 1;
+      return;
+    }
+    // Split a leaf by pushing its existing body down, then continue with the
+    // new body.
+    if (node.body >= 0) {
+      const int existing = node.body;
+      node.body = -1;
+      // Note: taking quadrant math before the vector may reallocate.
+      const double ecx = node.cx, ecy = node.cy, ehalf = node.half;
+      const Body& eb = bodies[static_cast<size_t>(existing)];
+      const int equad = (eb.x >= ecx ? 1 : 0) | (eb.y >= ecy ? 2 : 0);
+      if (nodes_[static_cast<size_t>(ni)].children[equad] < 0) {
+        const double qh = ehalf / 2.0;
+        const double qcx = ecx + (equad & 1 ? qh : -qh);
+        const double qcy = ecy + (equad & 2 ? qh : -qh);
+        const int child = NewNode(qcx, qcy, qh);
+        nodes_[static_cast<size_t>(ni)].children[equad] = child;
+      }
+      Insert(nodes_[static_cast<size_t>(ni)].children[equad], bodies, existing);
+    }
+    Node& n2 = nodes_[static_cast<size_t>(ni)];
+    ++n2.count;
+    const Body& b = bodies[static_cast<size_t>(body)];
+    const int quad = (b.x >= n2.cx ? 1 : 0) | (b.y >= n2.cy ? 2 : 0);
+    if (n2.children[quad] < 0) {
+      const double qh = n2.half / 2.0;
+      const double qcx = n2.cx + (quad & 1 ? qh : -qh);
+      const double qcy = n2.cy + (quad & 2 ? qh : -qh);
+      const int child = NewNode(qcx, qcy, qh);
+      nodes_[static_cast<size_t>(ni)].children[quad] = child;
+      ni = child;
+    } else {
+      ni = n2.children[quad];
+    }
+  }
+}
+
+void QuadTree::Summarize(int node_index, const std::vector<Body>& bodies) {
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.body >= 0) {
+    const Body& b = bodies[static_cast<size_t>(node.body)];
+    node.mass = b.mass;
+    node.comx = b.x;
+    node.comy = b.y;
+    return;
+  }
+  double mass = 0, mx = 0, my = 0;
+  for (int c : node.children) {
+    if (c < 0) {
+      continue;
+    }
+    Summarize(c, bodies);
+    const Node& child = nodes_[static_cast<size_t>(c)];
+    mass += child.mass;
+    mx += child.comx * child.mass;
+    my += child.comy * child.mass;
+  }
+  node.mass = mass;
+  if (mass > 0) {
+    node.comx = mx / mass;
+    node.comy = my / mass;
+  } else {
+    node.comx = node.cx;
+    node.comy = node.cy;
+  }
+}
+
+Vec2 DirectForce(const std::vector<Body>& bodies, int i) {
+  Vec2 acc;
+  const Body& b = bodies[static_cast<size_t>(i)];
+  for (int j = 0; j < static_cast<int>(bodies.size()); ++j) {
+    if (j == i) {
+      continue;
+    }
+    const Body& o = bodies[static_cast<size_t>(j)];
+    const double dx = o.x - b.x;
+    const double dy = o.y - b.y;
+    const double d2 = dx * dx + dy * dy + QuadTree::kSoftening2;
+    const double inv = 1.0 / std::sqrt(d2);
+    const double f = o.mass * inv * inv * inv;
+    acc.x += f * dx;
+    acc.y += f * dy;
+  }
+  return acc;
+}
+
+std::vector<Body> MakeDisk(int n, common::Rng* rng) {
+  SA_CHECK(n > 0);
+  std::vector<Body> bodies(static_cast<size_t>(n));
+  for (Body& b : bodies) {
+    const double r = std::sqrt(rng->NextDouble());  // uniform over the disk
+    const double phi = rng->Uniform(0, 2 * M_PI);
+    b.x = r * std::cos(phi);
+    b.y = r * std::sin(phi);
+    // Roughly circular orbits around the collective centre.
+    const double v = 0.3 * std::sqrt(r);
+    b.vx = -v * std::sin(phi);
+    b.vy = v * std::cos(phi);
+    b.mass = 1.0 / n;
+  }
+  return bodies;
+}
+
+void Integrate(std::vector<Body>* bodies, double dt) {
+  for (Body& b : *bodies) {
+    b.vx += b.ax * dt;
+    b.vy += b.ay * dt;
+    b.x += b.vx * dt;
+    b.y += b.vy * dt;
+  }
+}
+
+}  // namespace sa::apps

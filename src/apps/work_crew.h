@@ -1,0 +1,58 @@
+// A different concurrency model on the same thread package: work crews
+// (Vandevoorde & Roberts), which the paper cites as the model layered over
+// Topaz kernel threads — and names among the models ("workers") that are
+// "simple to provide" on top of the user-level system (Section 1.2).
+//
+// A crew is a fixed set of long-lived worker threads pulling closures from a
+// shared queue — no thread per task, so task startup is one enqueue + one
+// semaphore signal.  Demonstrates the flexibility claim: nothing here knows
+// which substrate (kernel threads or scheduler activations) the runtime
+// stands on.
+
+#ifndef SA_APPS_WORK_CREW_H_
+#define SA_APPS_WORK_CREW_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/rt/runtime.h"
+
+namespace sa::apps {
+
+class WorkCrew {
+ public:
+  // A task runs on a crew worker; it may co_await like any thread body.
+  using Task = std::function<sim::Program(rt::ThreadCtx&)>;
+
+  // Creates `workers` crew threads on `rt`.  Call before the runtime starts.
+  WorkCrew(rt::Runtime* rt, int workers);
+
+  // Enqueues a task from outside the runtime (before Start) or from any
+  // running thread's context.
+  void Submit(Task task);
+
+  // Marks the queue complete: workers exit once it drains.  The crew is done
+  // when the runtime reports its threads finished.
+  void Finish();
+
+  int tasks_completed() const { return completed_; }
+
+  // The submit-notification condition: a task that calls Submit from inside
+  // the runtime must Signal this to wake a parked worker.
+  int work_available() const { return work_available_; }
+
+ private:
+  sim::Program WorkerBody(rt::ThreadCtx& t);
+
+  rt::Runtime* rt_;
+  int queue_lock_;
+  int work_available_;  // condition with memory: one signal per submit/finish
+  std::deque<Task> queue_;
+  bool finished_ = false;
+  int completed_ = 0;
+};
+
+}  // namespace sa::apps
+
+#endif  // SA_APPS_WORK_CREW_H_

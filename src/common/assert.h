@@ -1,0 +1,57 @@
+// Copyright 2026 The scheduler-activations reproduction authors.
+// Assertion macros used across the library.
+//
+// SA_CHECK is always enabled (including release builds): this code base is a
+// simulator whose value is correctness of the modelled protocol, so invariant
+// violations must never be silently ignored.  SA_DCHECK compiles out in
+// NDEBUG builds and is reserved for hot-path sanity checks.
+
+#ifndef SA_COMMON_ASSERT_H_
+#define SA_COMMON_ASSERT_H_
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sa::common {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "SA_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, 2);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sa::common
+
+#define SA_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::sa::common::AssertFail(#expr, __FILE__, __LINE__, nullptr);    \
+    }                                                                  \
+  } while (0)
+
+#define SA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::sa::common::AssertFail(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define SA_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define SA_DCHECK(expr) SA_CHECK(expr)
+#endif
+
+#define SA_UNREACHABLE() \
+  ::sa::common::AssertFail("unreachable", __FILE__, __LINE__, nullptr)
+
+#endif  // SA_COMMON_ASSERT_H_

@@ -1,0 +1,136 @@
+// Minimal intrusive doubly-linked list.
+//
+// Kernel-style containers: the element embeds its own ListNode, so membership
+// changes never allocate and removal is O(1) from the element itself.  A node
+// knows whether it is linked, enabling SA_CHECKed state machines (a thread
+// must not be on two ready queues at once).
+
+#ifndef SA_COMMON_INTRUSIVE_LIST_H_
+#define SA_COMMON_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/common/assert.h"
+
+namespace sa::common {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+
+  void Unlink() {
+    SA_DCHECK(linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+// T must expose `ListNode T::*Member`.
+template <typename T, ListNode T::*Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* element) { InsertBefore(&head_, element); }
+  void PushFront(T* element) { InsertBefore(head_.next, element); }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next); }
+  T* Back() const { return empty() ? nullptr : FromNode(head_.prev); }
+
+  T* PopFront() {
+    T* element = Front();
+    if (element != nullptr) {
+      Remove(element);
+    }
+    return element;
+  }
+
+  T* PopBack() {
+    T* element = Back();
+    if (element != nullptr) {
+      Remove(element);
+    }
+    return element;
+  }
+
+  void Remove(T* element) {
+    ListNode& node = element->*Member;
+    node.Unlink();
+    --size_;
+  }
+
+  bool Contains(const T* element) const { return (element->*Member).linked(); }
+
+  // Range-for support.
+  class Iterator {
+   public:
+    explicit Iterator(ListNode* node) : node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode* node_;
+  };
+
+  Iterator begin() { return Iterator(head_.next); }
+  Iterator end() { return Iterator(&head_); }
+
+  class ConstIterator {
+   public:
+    explicit ConstIterator(const ListNode* node) : node_(node) {}
+    const T* operator*() const { return FromNode(const_cast<ListNode*>(node_)); }
+    ConstIterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const ConstIterator& other) const { return node_ != other.node_; }
+
+   private:
+    const ListNode* node_;
+  };
+
+  ConstIterator begin() const { return ConstIterator(head_.next); }
+  ConstIterator end() const { return ConstIterator(&head_); }
+
+ private:
+  static T* FromNode(ListNode* node) {
+    // Standard container_of computation.
+    const T* probe = nullptr;
+    const auto offset = reinterpret_cast<const char*>(&(probe->*Member)) -
+                        reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  void InsertBefore(ListNode* pos, T* element) {
+    ListNode& node = element->*Member;
+    SA_DCHECK(!node.linked());
+    node.prev = pos->prev;
+    node.next = pos;
+    pos->prev->next = &node;
+    pos->prev = &node;
+    ++size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace sa::common
+
+#endif  // SA_COMMON_INTRUSIVE_LIST_H_

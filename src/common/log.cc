@@ -1,0 +1,77 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace sa::common {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::EnableCapture(size_t capacity) {
+  capture_ = true;
+  capture_capacity_ = capacity;
+  captured_.clear();
+}
+
+void Logger::DisableCapture() {
+  capture_ = false;
+  captured_.clear();
+}
+
+void Logger::Logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(level_) && !capture_) {
+    return;
+  }
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+
+  std::string line;
+  line.reserve(64);
+  line += "[";
+  line += LogLevelName(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += buf;
+
+  if (capture_) {
+    captured_.push_back(line);
+    while (captured_.size() > capture_capacity_) {
+      captured_.pop_front();
+    }
+  }
+  if (static_cast<int>(level) >= static_cast<int>(level_) && sink_) {
+    sink_(level, line);
+  }
+}
+
+void Logger::UseStderrSink() {
+  set_sink([](LogLevel, const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  });
+}
+
+}  // namespace sa::common

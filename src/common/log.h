@@ -1,0 +1,82 @@
+// Leveled, component-tagged logging.
+//
+// The simulator emits a deterministic event trace through this interface; the
+// default sink is silent so tests and benchmarks stay quiet.  Examples (and
+// debugging sessions) install a printing sink.  Log lines are also retained in
+// an optional ring buffer so tests can assert on the trace.
+
+#ifndef SA_COMMON_LOG_H_
+#define SA_COMMON_LOG_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+namespace sa::common {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Process-wide logger.  Not thread-safe by design: the simulator is
+// single-threaded; the native fiber library does not log on hot paths.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Replaces the output sink (nullptr restores the silent default).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Enables retention of the most recent `capacity` formatted lines.
+  void EnableCapture(size_t capacity);
+  void DisableCapture();
+  const std::deque<std::string>& captured() const { return captured_; }
+  void ClearCaptured() { captured_.clear(); }
+
+  void Logf(LogLevel level, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+  // Installs a sink that writes to stderr with level/component prefixes.
+  void UseStderrSink();
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+  bool capture_ = false;
+  size_t capture_capacity_ = 0;
+  std::deque<std::string> captured_;
+};
+
+}  // namespace sa::common
+
+#define SA_LOG(lvl, component, ...)                                              \
+  do {                                                                           \
+    if (static_cast<int>(lvl) >= static_cast<int>(                               \
+                                     ::sa::common::Logger::Get().level())) {     \
+      ::sa::common::Logger::Get().Logf((lvl), (component), __VA_ARGS__);         \
+    }                                                                            \
+  } while (0)
+
+#define SA_TRACE(component, ...) SA_LOG(::sa::common::LogLevel::kTrace, component, __VA_ARGS__)
+#define SA_DEBUG(component, ...) SA_LOG(::sa::common::LogLevel::kDebug, component, __VA_ARGS__)
+#define SA_INFO(component, ...) SA_LOG(::sa::common::LogLevel::kInfo, component, __VA_ARGS__)
+#define SA_WARN(component, ...) SA_LOG(::sa::common::LogLevel::kWarn, component, __VA_ARGS__)
+#define SA_ERROR(component, ...) SA_LOG(::sa::common::LogLevel::kError, component, __VA_ARGS__)
+
+#endif  // SA_COMMON_LOG_H_

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator (daemon wake jitter, workload
+// shuffles, body positions for the N-body application) draws from an Rng
+// seeded from a single run-level seed, so a run is reproducible from
+// (configuration, seed) alone.  xoshiro256** with a SplitMix64 seeder.
+
+#ifndef SA_COMMON_RNG_H_
+#define SA_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/assert.h"
+
+namespace sa::common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four xoshiro words.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    SA_DCHECK(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    SA_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Derives an independent child stream (e.g. per-subsystem).
+  Rng Fork() { return Rng(Next() ^ 0xd3833e804f4c574bULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sa::common
+
+#endif  // SA_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+// Running statistics and fixed-bucket histograms for benchmark reporting.
+
+#ifndef SA_COMMON_STATS_H_
+#define SA_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace sa::common {
+
+// Welford-style running summary: O(1) space, numerically stable.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores every sample; supports exact percentiles.  Use for bounded-size
+// benchmark result sets.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    stats_.Add(x);
+  }
+
+  const RunningStats& stats() const { return stats_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // p in [0, 100].  Linear interpolation between closest ranks.
+  double Percentile(double p) {
+    SA_CHECK(!values_.empty());
+    SA_CHECK(p >= 0.0 && p <= 100.0);
+    EnsureSorted();
+    if (values_.size() == 1) {
+      return values_[0];
+    }
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+  }
+
+  double Median() { return Percentile(50.0); }
+
+  void Reset() {
+    values_.clear();
+    sorted_ = false;
+    stats_.Reset();
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+  RunningStats stats_;
+};
+
+}  // namespace sa::common
+
+#endif  // SA_COMMON_STATS_H_

@@ -1,0 +1,62 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+
+namespace sa::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      out += "  ";
+      if (c == 0) {
+        out += cell;
+        out.append(width[c] - cell.size(), ' ');
+      } else {
+        out.append(width[c] - cell.size(), ' ');
+        out += cell;
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  render_row(header_, out);
+  size_t total = 0;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    total += width[c] + 2;
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    render_row(row, out);
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace sa::common

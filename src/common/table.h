@@ -1,0 +1,38 @@
+// ASCII table formatting for benchmark output, in the style of the paper's
+// tables (a header row, left-aligned first column, right-aligned numbers).
+
+#ifndef SA_COMMON_TABLE_H_
+#define SA_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sa::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // rendered empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 0);
+
+  // Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sa::common
+
+#endif  // SA_COMMON_TABLE_H_

@@ -1,0 +1,26 @@
+#include "src/fibers/context.h"
+
+#include "src/common/assert.h"
+
+namespace sa::fibers {
+
+ContextSp MakeContext(void* stack_base, size_t size, void (*entry)(void*), void* arg) {
+  SA_CHECK(size >= 512);
+  // Top of stack, 16-byte aligned.  Layout (downwards) mirrors what
+  // sa_ctx_swap pops: r15 r14 r13 r12 rbx rbp <ret>.  After the pops and the
+  // ret into sa_ctx_trampoline, rsp is back at the aligned top, so the
+  // trampoline's `call` leaves the entry function correctly aligned.
+  auto top = reinterpret_cast<uintptr_t>(stack_base) + size;
+  top &= ~static_cast<uintptr_t>(15);
+  auto* sp = reinterpret_cast<uintptr_t*>(top);
+  *--sp = reinterpret_cast<uintptr_t>(&sa_ctx_trampoline);  // ret target
+  *--sp = 0;                                   // rbp
+  *--sp = 0;                                   // rbx
+  *--sp = reinterpret_cast<uintptr_t>(arg);    // r12 -> rdi in the trampoline
+  *--sp = reinterpret_cast<uintptr_t>(entry);  // r13 -> call target
+  *--sp = 0;                                   // r14
+  *--sp = 0;                                   // r15
+  return sp;
+}
+
+}  // namespace sa::fibers

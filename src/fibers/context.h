@@ -1,0 +1,36 @@
+// Raw user-level execution contexts for x86-64 (System V ABI).
+//
+// This is the native (non-simulated) half of the repository: a real
+// user-level context switch in a dozen instructions, demonstrating on modern
+// hardware the paper's premise that thread management operations can cost on
+// the order of a procedure call when no kernel boundary is crossed.
+
+#ifndef SA_FIBERS_CONTEXT_H_
+#define SA_FIBERS_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sa::fibers {
+
+// Opaque saved context: the stack pointer of a suspended execution whose
+// stack holds the callee-saved registers and return address.
+using ContextSp = void*;
+
+extern "C" {
+// Saves the current context into *from and resumes *to.  Returns when
+// something switches back to *from.
+void sa_ctx_swap(ContextSp* from, ContextSp to);
+// Assembly trampoline that calls entry(arg) with a clean frame; set up by
+// MakeContext.
+void sa_ctx_trampoline();
+}
+
+// Prepares a fresh context on [stack_base, stack_base + size) that will
+// invoke entry(arg) when first switched to.  entry must never return — it
+// must switch away permanently (the fiber scheduler enforces this).
+ContextSp MakeContext(void* stack_base, size_t size, void (*entry)(void*), void* arg);
+
+}  // namespace sa::fibers
+
+#endif  // SA_FIBERS_CONTEXT_H_

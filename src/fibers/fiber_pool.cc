@@ -1,0 +1,259 @@
+#include "src/fibers/fiber_pool.h"
+
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace sa::fibers {
+
+namespace {
+
+struct WorkerState {
+  FiberPool* pool = nullptr;
+  ContextSp scheduler_ctx = nullptr;
+  internal::Fiber* current = nullptr;
+  std::function<void()> post_switch;
+};
+
+thread_local WorkerState* tls_worker = nullptr;
+
+}  // namespace
+
+struct FiberPool::Worker {};  // (reserved for per-worker run queues)
+
+FiberPool::FiberPool(int workers, size_t stack_size) : stack_size_(stack_size) {
+  SA_CHECK(workers >= 1);
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+FiberPool::~FiberPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SA_CHECK_MSG(live_fibers_ == 0, "destroying a pool with live fibers (join them)");
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+FiberPool* FiberPool::Current() {
+  return tls_worker != nullptr ? tls_worker->pool : nullptr;
+}
+
+internal::Fiber* FiberPool::CurrentFiber() {
+  return tls_worker != nullptr ? tls_worker->current : nullptr;
+}
+
+void FiberPool::FiberMain(void* arg) {
+  auto* fiber = static_cast<internal::Fiber*>(arg);
+  FiberPool* pool = fiber->pool;
+  fiber->fn();
+  // Completion: wake joiners and recycle — all after we are off this stack.
+  pool->SwitchOut([pool, fiber] {
+    std::vector<internal::Fiber*> joiners;
+    {
+      std::unique_lock<std::mutex> lock(pool->mu_);
+      fiber->done = true;
+      joiners.swap(fiber->joiners);
+      fiber->fn = nullptr;
+      pool->free_fibers_.push_back(fiber);
+      --pool->live_fibers_;
+    }
+    for (internal::Fiber* j : joiners) {
+      pool->PushRunnable(j);
+    }
+    pool->joiner_cv_.notify_all();
+  });
+  SA_UNREACHABLE();  // the context is never resumed after final switch-out
+}
+
+FiberHandle FiberPool::Spawn(std::function<void()> fn) {
+  internal::Fiber* fiber;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!free_fibers_.empty()) {
+      fiber = free_fibers_.back();
+      free_fibers_.pop_back();
+    } else {
+      all_fibers_.push_back(std::make_unique<internal::Fiber>());
+      fiber = all_fibers_.back().get();
+      fiber->stack = std::make_unique<char[]>(stack_size_);
+      fiber->stack_size = stack_size_;
+      fiber->pool = this;
+    }
+    fiber->done = false;
+    ++fiber->generation;
+    fiber->fn = std::move(fn);
+    ++live_fibers_;
+  }
+  fiber->sp = MakeContext(fiber->stack.get(), fiber->stack_size, &FiberPool::FiberMain,
+                          fiber);
+  const FiberHandle handle(fiber, fiber->generation);
+  PushRunnable(fiber);
+  return handle;
+}
+
+void FiberPool::PushRunnable(internal::Fiber* fiber) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    run_queue_.push_back(fiber);
+  }
+  work_cv_.notify_one();
+}
+
+internal::Fiber* FiberPool::PopRunnable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
+  if (run_queue_.empty()) {
+    return nullptr;  // stopping
+  }
+  internal::Fiber* fiber = run_queue_.front();
+  run_queue_.pop_front();
+  return fiber;
+}
+
+void FiberPool::WorkerLoop(int index) {
+  WorkerState state;
+  state.pool = this;
+  tls_worker = &state;
+  for (;;) {
+    internal::Fiber* fiber = PopRunnable();
+    if (fiber == nullptr) {
+      break;
+    }
+    state.current = fiber;
+    switches_.fetch_add(1, std::memory_order_relaxed);
+    sa_ctx_swap(&state.scheduler_ctx, fiber->sp);
+    state.current = nullptr;
+    if (state.post_switch) {
+      std::function<void()> post = std::move(state.post_switch);
+      state.post_switch = nullptr;
+      post();
+    }
+  }
+  tls_worker = nullptr;
+}
+
+void FiberPool::SwitchOut(std::function<void()> post) {
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(state != nullptr && state->current != nullptr,
+               "SwitchOut outside a fiber");
+  state->post_switch = std::move(post);
+  internal::Fiber* self = state->current;
+  switches_.fetch_add(1, std::memory_order_relaxed);
+  sa_ctx_swap(&self->sp, state->scheduler_ctx);
+}
+
+void FiberPool::Yield() {
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(state != nullptr && state->current != nullptr, "Yield outside a fiber");
+  FiberPool* pool = state->pool;
+  internal::Fiber* self = state->current;
+  // Republish after the switch: another worker must not run this fiber
+  // while its registers are still live on this stack.
+  pool->SwitchOut([pool, self] { pool->PushRunnable(self); });
+}
+
+void FiberPool::Join(FiberHandle handle) {
+  internal::Fiber* target = handle.fiber_;
+  SA_CHECK_MSG(target != nullptr, "joining a null fiber handle");
+  WorkerState* state = tls_worker;
+  if (state != nullptr && state->current != nullptr && state->pool == this) {
+    // Fiber-to-fiber join: block the fiber, keep the worker busy.
+    internal::Fiber* self = state->current;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (target->done || target->generation != handle.generation_) {
+      return;  // already finished (and possibly recycled)
+    }
+    target->joiners.push_back(self);
+    // The lock must be released only once we are off this fiber's stack.
+    lock.release();
+    SwitchOut([this] { mu_.unlock(); });
+    return;
+  }
+  // External join: block the calling kernel thread.
+  std::unique_lock<std::mutex> lock(mu_);
+  joiner_cv_.wait(lock, [target, &handle] {
+    return target->done || target->generation != handle.generation_;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization.
+// ---------------------------------------------------------------------------
+
+void FiberMutex::Lock() {
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(state != nullptr && state->current != nullptr,
+               "FiberMutex used outside a fiber");
+  internal::Fiber* const self = state->current;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  lock.release();
+  state->pool->SwitchOut([this] { mu_.unlock(); });
+  // Woken by Unlock with ownership already transferred (possibly on a
+  // different worker thread).
+}
+
+void FiberMutex::Unlock() {
+  WorkerState* state = tls_worker;
+  SA_CHECK(state != nullptr && state->current != nullptr);
+  internal::Fiber* next = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SA_CHECK_MSG(owner_ == state->current, "unlock by non-owner");
+    if (waiters_.empty()) {
+      owner_ = nullptr;
+    } else {
+      next = waiters_.front();
+      waiters_.pop_front();
+      owner_ = next;  // direct handoff
+    }
+  }
+  if (next != nullptr) {
+    state->pool->PushRunnable(next);
+  }
+}
+
+void FiberSemaphore::Post() {
+  internal::Fiber* next = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (waiters_.empty()) {
+      ++count_;
+    } else {
+      next = waiters_.front();
+      waiters_.pop_front();
+    }
+  }
+  if (next != nullptr) {
+    WorkerState* state = tls_worker;
+    SA_CHECK(state != nullptr);
+    state->pool->PushRunnable(next);
+  }
+}
+
+void FiberSemaphore::Wait() {
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(state != nullptr && state->current != nullptr,
+               "FiberSemaphore used outside a fiber");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (count_ > 0) {
+    --count_;
+    return;
+  }
+  waiters_.push_back(state->current);
+  lock.release();
+  state->pool->SwitchOut([this] { mu_.unlock(); });
+}
+
+}  // namespace sa::fibers

@@ -1,0 +1,153 @@
+// A native M:N user-level thread ("fiber") library for x86-64 Linux.
+//
+// This is real code, not simulation: fibers run on a pool of kernel worker
+// threads and switch contexts entirely at user level (src/fibers/context.h).
+// It exists to demonstrate the paper's Table-1 claim on modern hardware —
+// user-level thread operations cost on the order of a procedure call, one
+// to two orders of magnitude less than kernel threads (std::thread) and
+// three to four less than processes (fork) — see bench_fibers_native.
+//
+// Design follows the same shape as the simulated FastThreads: a run queue of
+// ready fibers, blocking synchronization that never enters the kernel, and
+// per-pool recycled stacks.  (It deliberately does NOT get scheduler
+// activations: that requires the kernel support this repository simulates —
+// the point of the paper.)
+
+#ifndef SA_FIBERS_FIBER_POOL_H_
+#define SA_FIBERS_FIBER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/fibers/context.h"
+
+namespace sa::fibers {
+
+class FiberPool;
+
+namespace internal {
+
+struct Fiber {
+  std::unique_ptr<char[]> stack;
+  size_t stack_size = 0;
+  ContextSp sp = nullptr;
+  std::function<void()> fn;
+  bool done = false;
+  std::vector<Fiber*> joiners;  // fibers blocked in Join on this fiber
+  FiberPool* pool = nullptr;
+  uint64_t generation = 0;  // guards handles across recycling
+};
+
+}  // namespace internal
+
+// Handle to a spawned fiber; valid until joined.
+class FiberHandle {
+ public:
+  FiberHandle() = default;
+
+ private:
+  friend class FiberPool;
+  FiberHandle(internal::Fiber* fiber, uint64_t generation)
+      : fiber_(fiber), generation_(generation) {}
+  internal::Fiber* fiber_ = nullptr;
+  uint64_t generation_ = 0;
+};
+
+class FiberPool {
+ public:
+  // Starts `workers` kernel threads.  stack_size is per fiber.
+  explicit FiberPool(int workers, size_t stack_size = 128 * 1024);
+  ~FiberPool();
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  // Creates a fiber; it becomes runnable immediately.
+  FiberHandle Spawn(std::function<void()> fn);
+
+  // Waits until the fiber finishes.  Callable from a fiber (blocks the
+  // fiber, the worker keeps running others) or from an external thread
+  // (blocks the thread).
+  void Join(FiberHandle handle);
+
+  // From inside a fiber: give up the processor to another runnable fiber.
+  static void Yield();
+
+  // From inside a fiber: the pool running the current fiber (nullptr if not
+  // on a fiber).
+  static FiberPool* Current();
+
+  // The currently running fiber on this worker (nullptr outside fibers).
+  // For synchronization primitives (src/fibers/sync.h).
+  static internal::Fiber* CurrentFiber();
+
+  // Makes a blocked fiber runnable again (synchronization primitives only).
+  void WakeFiber(internal::Fiber* fiber) { PushRunnable(fiber); }
+
+  // Switches from the current fiber back to the worker's scheduler context;
+  // `post` runs on the scheduler stack after the switch (so a fiber can
+  // safely publish itself to a wait queue it is no longer running on).
+  void SwitchOut(std::function<void()> post);
+
+  // Number of user-level context switches performed so far.
+  uint64_t switches() const { return switches_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FiberMutex;
+  friend class FiberSemaphore;
+  struct Worker;
+  static void FiberMain(void* arg);
+
+  void WorkerLoop(int index);
+  internal::Fiber* PopRunnable();
+  void PushRunnable(internal::Fiber* fiber);
+
+  const size_t stack_size_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;    // workers waiting for runnable fibers
+  std::condition_variable joiner_cv_;  // external threads waiting in Join
+  std::deque<internal::Fiber*> run_queue_;
+  std::vector<internal::Fiber*> free_fibers_;
+  std::vector<std::unique_ptr<internal::Fiber>> all_fibers_;
+  bool stopping_ = false;
+  size_t live_fibers_ = 0;
+  std::atomic<uint64_t> switches_{0};
+  std::vector<std::thread> threads_;
+};
+
+// Mutex that blocks the *fiber* (the worker thread keeps running other
+// fibers); never enters the kernel while uncontended or contended.
+class FiberMutex {
+ public:
+  void Lock();
+  void Unlock();
+
+ private:
+  std::mutex mu_;  // protects the tiny state below (never held across switch)
+  internal::Fiber* owner_ = nullptr;
+  std::deque<internal::Fiber*> waiters_;
+};
+
+// Counting semaphore with fiber-blocking semantics (condition with memory —
+// the same primitive the simulated benchmarks use for Signal-Wait).
+class FiberSemaphore {
+ public:
+  explicit FiberSemaphore(int initial = 0) : count_(initial) {}
+  void Post();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  int count_;
+  std::deque<internal::Fiber*> waiters_;
+};
+
+}  // namespace sa::fibers
+
+#endif  // SA_FIBERS_FIBER_POOL_H_

@@ -1,0 +1,31 @@
+#include "src/fibers/sync.h"
+
+namespace sa::fibers {
+
+FiberBarrier::FiberBarrier(int parties) : parties_(parties) {
+  SA_CHECK(parties_ >= 1);
+}
+
+bool FiberBarrier::Arrive() {
+  FiberPool* pool = FiberPool::Current();
+  SA_CHECK_MSG(pool != nullptr, "Arrive outside a fiber");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (++arrived_ == parties_) {
+    // Trip: release everyone and start the next generation.
+    arrived_ = 0;
+    ++generation_;
+    std::deque<internal::Fiber*> wake;
+    wake.swap(waiters_);
+    lock.unlock();
+    for (internal::Fiber* f : wake) {
+      pool->WakeFiber(f);
+    }
+    return true;
+  }
+  waiters_.push_back(FiberPool::CurrentFiber());
+  lock.release();
+  pool->SwitchOut([this] { mu_.unlock(); });
+  return false;
+}
+
+}  // namespace sa::fibers

@@ -1,0 +1,126 @@
+// Higher-level fiber synchronization: barriers and bounded channels.
+//
+// Everything blocks the *fiber*, never the worker thread; the pattern
+// throughout is: take the small internal std::mutex, decide, register on a
+// wait queue, and release the mutex from the scheduler stack after switching
+// out (FiberPool::SwitchOut's post action) so no wakeup can race with a
+// fiber whose registers are still live.
+
+#ifndef SA_FIBERS_SYNC_H_
+#define SA_FIBERS_SYNC_H_
+
+#include <deque>
+#include <optional>
+
+#include "src/common/assert.h"
+#include "src/fibers/fiber_pool.h"
+
+namespace sa::fibers {
+
+// Cyclic barrier: the Nth arriving fiber releases the other N-1 (and
+// itself); reusable across generations.
+class FiberBarrier {
+ public:
+  explicit FiberBarrier(int parties);
+
+  // Blocks until `parties` fibers have arrived.  Returns true on the fiber
+  // that tripped the barrier (one per generation).
+  bool Arrive();
+
+ private:
+  std::mutex mu_;
+  const int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::deque<internal::Fiber*> waiters_;
+};
+
+// Bounded multi-producer multi-consumer channel.  Send blocks the fiber
+// while full; Receive blocks while empty; Close releases all blocked
+// receivers (Receive returns nullopt once drained).  Sending on a closed
+// channel is a programming error.
+template <typename T>
+class FiberChannel {
+ public:
+  explicit FiberChannel(size_t capacity) : capacity_(capacity) {
+    SA_CHECK(capacity_ >= 1);
+  }
+
+  void Send(T value) {
+    FiberPool* pool = FiberPool::Current();
+    SA_CHECK_MSG(pool != nullptr, "Send outside a fiber");
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu_);
+      SA_CHECK_MSG(!closed_, "send on a closed channel");
+      if (buffer_.size() < capacity_) {
+        buffer_.push_back(std::move(value));
+        WakeOne(&receivers_, pool);
+        return;
+      }
+      senders_.push_back(pool->CurrentFiber());
+      lock.release();
+      pool->SwitchOut([this] { mu_.unlock(); });
+      // Re-check from the top (another sender may have raced us in).
+    }
+  }
+
+  std::optional<T> Receive() {
+    FiberPool* pool = FiberPool::Current();
+    SA_CHECK_MSG(pool != nullptr, "Receive outside a fiber");
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!buffer_.empty()) {
+        T value = std::move(buffer_.front());
+        buffer_.pop_front();
+        WakeOne(&senders_, pool);
+        return value;
+      }
+      if (closed_) {
+        return std::nullopt;
+      }
+      receivers_.push_back(pool->CurrentFiber());
+      lock.release();
+      pool->SwitchOut([this] { mu_.unlock(); });
+    }
+  }
+
+  void Close() {
+    FiberPool* pool = FiberPool::Current();
+    SA_CHECK_MSG(pool != nullptr, "Close outside a fiber");
+    std::deque<internal::Fiber*> wake;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+      wake.swap(receivers_);
+    }
+    for (internal::Fiber* f : wake) {
+      pool->WakeFiber(f);
+    }
+  }
+
+  size_t size() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
+
+ private:
+  void WakeOne(std::deque<internal::Fiber*>* queue, FiberPool* pool) {
+    // Called with mu_ held; the wake itself happens outside any fiber state.
+    if (!queue->empty()) {
+      internal::Fiber* f = queue->front();
+      queue->pop_front();
+      pool->WakeFiber(f);
+    }
+  }
+
+  std::mutex mu_;
+  const size_t capacity_;
+  std::deque<T> buffer_;
+  bool closed_ = false;
+  std::deque<internal::Fiber*> senders_;
+  std::deque<internal::Fiber*> receivers_;
+};
+
+}  // namespace sa::fibers
+
+#endif  // SA_FIBERS_SYNC_H_

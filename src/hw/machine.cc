@@ -1,0 +1,23 @@
+#include "src/hw/machine.h"
+
+namespace sa::hw {
+
+Machine::Machine(int num_processors, uint64_t seed) : rng_(seed) {
+  SA_CHECK_MSG(num_processors >= 1 && num_processors <= 64,
+               "processor count out of supported range");
+  processors_.reserve(static_cast<size_t>(num_processors));
+  for (int i = 0; i < num_processors; ++i) {
+    processors_.push_back(std::make_unique<Processor>(&engine_, i));
+  }
+}
+
+sim::Duration Machine::TotalTimeIn(SpanMode mode) {
+  sim::Duration total = 0;
+  for (auto& p : processors_) {
+    p->FlushAccounting();
+    total += p->time_in(mode);
+  }
+  return total;
+}
+
+}  // namespace sa::hw

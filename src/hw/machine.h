@@ -1,0 +1,47 @@
+// The simulated multiprocessor: an engine plus a fixed set of processors.
+//
+// Loosely modelled on the DEC SRC Firefly the paper used: a small
+// shared-memory multiprocessor (the paper's machine had six CVAX processors).
+
+#ifndef SA_HW_MACHINE_H_
+#define SA_HW_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hw/processor.h"
+#include "src/sim/engine.h"
+
+namespace sa::hw {
+
+class Machine {
+ public:
+  // Builds a machine with `num_processors` processors (1..64).
+  Machine(int num_processors, uint64_t seed);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  sim::Time now() const { return engine_.now(); }
+
+  int num_processors() const { return static_cast<int>(processors_.size()); }
+  Processor* processor(int id) {
+    SA_CHECK(id >= 0 && id < num_processors());
+    return processors_[id].get();
+  }
+
+  common::Rng& rng() { return rng_; }
+
+  // Sum of per-processor accounting (flushes first).
+  sim::Duration TotalTimeIn(SpanMode mode);
+
+ private:
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Processor>> processors_;
+  common::Rng rng_;
+};
+
+}  // namespace sa::hw
+
+#endif  // SA_HW_MACHINE_H_

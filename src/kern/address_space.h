@@ -1,0 +1,109 @@
+// Address spaces (the kernel's unit of protection and processor allocation).
+//
+// An address space either uses kernel threads directly (kKernelThreads mode:
+// its threads are scheduled by the Topaz scheduler) or scheduler activations
+// (kSchedulerActivations mode: the kernel explicitly allocates whole
+// processors to it and vectors events up; see src/core/).  The paper's
+// implementation supports both concurrently, with no static partitioning of
+// processors (Section 4.1); so does this one.
+
+#ifndef SA_KERN_ADDRESS_SPACE_H_
+#define SA_KERN_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kern/kthread.h"
+#include "src/kern/sa_iface.h"
+#include "src/kern/vm.h"
+
+namespace sa::kern {
+
+enum class AsMode {
+  kKernelThreads,         // traditional: kernel schedules this space's threads
+  kSchedulerActivations,  // processors allocated explicitly; events upcalled
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(int id, std::string name, AsMode mode, int priority)
+      : id_(id), name_(std::move(name)), mode_(mode), priority_(priority) {
+    // The upcall entry path is resident unless an experiment evicts it.
+    vm_.MakeResident(VmSpace::kUpcallEntryPage);
+  }
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  AsMode mode() const { return mode_; }
+  int priority() const { return priority_; }
+
+  // Per-space virtual memory (resident set, fault counts).
+  VmSpace& vm() { return vm_; }
+  const VmSpace& vm() const { return vm_; }
+
+  // Ultrix-style process spaces pay process costs for thread operations.
+  bool heavyweight() const { return heavyweight_; }
+  void set_heavyweight(bool h) { heavyweight_ = h; }
+
+  // Scheduler-activation machinery for this space; set by core::SaSpace.
+  SaSpaceIface* sa() const { return sa_; }
+  void set_sa(SaSpaceIface* sa) { sa_ = sa; }
+
+  // --- processor-allocator bookkeeping (both modes, Section 4.1) ---
+  // How many processors this space currently wants.  For SA spaces this is
+  // driven by the Table-3 downcalls; for kernel-thread spaces the kernel
+  // derives it from internal data structures (runnable thread count).
+  int desired_processors() const { return desired_processors_; }
+  void set_desired_processors(int n) { desired_processors_ = n; }
+
+  // Processors currently assigned by the explicit allocator.
+  const std::vector<hw::Processor*>& assigned() const { return assigned_; }
+  void AddAssigned(hw::Processor* p) { assigned_.push_back(p); }
+  void RemoveAssigned(hw::Processor* p) {
+    for (auto it = assigned_.begin(); it != assigned_.end(); ++it) {
+      if (*it == p) {
+        assigned_.erase(it);
+        return;
+      }
+    }
+    SA_CHECK_MSG(false, "processor not assigned to this address space");
+  }
+  bool IsAssigned(const hw::Processor* p) const {
+    for (auto* q : assigned_) {
+      if (q == p) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Thread registry (owns the KThreads of this space).
+  KThread* AddThread(std::unique_ptr<KThread> kt) {
+    threads_.push_back(std::move(kt));
+    return threads_.back().get();
+  }
+  const std::vector<std::unique_ptr<KThread>>& threads() const { return threads_; }
+
+  // Live-thread accounting used by the kernel-thread demand estimate.
+  int runnable_threads = 0;  // ready + running (kKernelThreads spaces)
+
+ private:
+  const int id_;
+  const std::string name_;
+  const AsMode mode_;
+  const int priority_;
+  bool heavyweight_ = false;
+  VmSpace vm_;
+  SaSpaceIface* sa_ = nullptr;
+  int desired_processors_ = 0;
+  std::vector<hw::Processor*> assigned_;
+  std::vector<std::unique_ptr<KThread>> threads_;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_ADDRESS_SPACE_H_

@@ -1,0 +1,545 @@
+#include "src/kern/kernel.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/kern/proc_alloc.h"
+
+namespace sa::kern {
+
+namespace {
+constexpr const char* kLog = "kern";
+}  // namespace
+
+Kernel::Kernel(hw::Machine* machine, Config config)
+    : machine_(machine), config_(std::move(config)) {
+  const size_t n = static_cast<size_t>(machine_->num_processors());
+  running_.assign(n, nullptr);
+  pending_.assign(n, PendingAction{});
+  owner_.assign(n, nullptr);
+  for (int i = 0; i < machine_->num_processors(); ++i) {
+    machine_->processor(i)->set_interrupt_handler(
+        [this](hw::Processor* proc, hw::Interrupt irq) { OnInterrupt(proc, std::move(irq)); });
+  }
+  if (config_.mode == KernelMode::kSchedulerActivations) {
+    allocator_ = std::make_unique<ProcessorAllocator>(this);
+    for (int i = 0; i < machine_->num_processors(); ++i) {
+      allocator_->AddFree(machine_->processor(i));
+    }
+  }
+}
+
+Kernel::~Kernel() = default;
+
+sim::Duration Kernel::CreateCost(const AddressSpace* as) const {
+  return as->heavyweight() ? costs().proc_create : costs().kt_create;
+}
+sim::Duration Kernel::ExitCost(const AddressSpace* as) const {
+  return as->heavyweight() ? costs().proc_exit : costs().kt_exit;
+}
+sim::Duration Kernel::DispatchCost(const AddressSpace* as) const {
+  return as->heavyweight() ? costs().proc_dispatch : costs().kt_dispatch;
+}
+sim::Duration Kernel::BlockCost(const AddressSpace* as) const {
+  return as->heavyweight() ? costs().proc_block : costs().kt_block;
+}
+sim::Duration Kernel::WakeupCost(const AddressSpace* as) const {
+  return as->heavyweight() ? costs().proc_wakeup : costs().kt_wakeup;
+}
+
+sim::Duration Kernel::UpcallCost() const {
+  return config_.tuned_upcalls ? costs().TunedUpcall() : costs().sa_upcall;
+}
+
+AddressSpace* Kernel::CreateAddressSpace(const std::string& name, AsMode mode, int priority) {
+  SA_CHECK_MSG(mode == AsMode::kKernelThreads || config_.mode == KernelMode::kSchedulerActivations,
+               "scheduler-activation spaces require the modified kernel");
+  auto as = std::make_unique<AddressSpace>(static_cast<int>(spaces_.size()), name, mode, priority);
+  AddressSpace* raw = as.get();
+  spaces_.push_back(std::move(as));
+  if (allocator_ != nullptr) {
+    allocator_->RegisterSpace(raw);
+  }
+  SA_INFO(kLog, "address space %s created (mode=%s, prio=%d)", raw->name().c_str(),
+          mode == AsMode::kKernelThreads ? "kt" : "sa", priority);
+  return raw;
+}
+
+KThread* Kernel::CreateThread(AddressSpace* as, KThreadHost* host, void* host_data) {
+  auto kt = std::make_unique<KThread>(next_thread_id_++, as, host);
+  kt->set_host_data(host_data);
+  kt->set_priority(as->priority());
+  ++live_threads_;
+  return as->AddThread(std::move(kt));
+}
+
+void Kernel::StartThread(KThread* kt) {
+  SA_CHECK(kt->state() == KThreadState::kBorn);
+  MakeReady(kt);
+}
+
+Kernel::Domain* Kernel::DomainFor(AddressSpace* as) {
+  if (config_.mode == KernelMode::kNativeTopaz) {
+    return &global_domain_;
+  }
+  SA_CHECK_MSG(as->mode() == AsMode::kKernelThreads,
+               "scheduler-activation spaces have no kernel ready queue");
+  for (auto& d : kt_domains_) {
+    if (d->as == as) {
+      return d.get();
+    }
+  }
+  kt_domains_.push_back(std::make_unique<Domain>());
+  kt_domains_.back()->as = as;
+  return kt_domains_.back().get();
+}
+
+Kernel::Domain* Kernel::DomainOfProcessor(hw::Processor* proc) {
+  if (config_.mode == KernelMode::kNativeTopaz) {
+    return &global_domain_;
+  }
+  AddressSpace* as = owner_[static_cast<size_t>(proc->id())];
+  if (as == nullptr || as->mode() != AsMode::kKernelThreads) {
+    return nullptr;
+  }
+  return DomainFor(as);
+}
+
+void Kernel::AssignProcessor(hw::Processor* proc, AddressSpace* as) {
+  SA_CHECK(owner_[static_cast<size_t>(proc->id())] == nullptr);
+  owner_[static_cast<size_t>(proc->id())] = as;
+  as->AddAssigned(proc);
+}
+
+void Kernel::UnassignProcessor(hw::Processor* proc) {
+  AddressSpace* as = owner_[static_cast<size_t>(proc->id())];
+  SA_CHECK(as != nullptr);
+  as->RemoveAssigned(proc);
+  owner_[static_cast<size_t>(proc->id())] = nullptr;
+}
+
+AddressSpace* Kernel::OwnerOf(const hw::Processor* proc) const {
+  return owner_[static_cast<size_t>(proc->id())];
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling (kernel-thread spaces).
+// ---------------------------------------------------------------------------
+
+hw::Processor* Kernel::FindIdleProcessorFor(AddressSpace* as) {
+  auto usable = [this](hw::Processor* p) {
+    return running_on(p) == nullptr && !p->has_span() &&
+           pending_[static_cast<size_t>(p->id())].kind == PendingAction::Kind::kNone &&
+           !p->interrupt_latched();
+  };
+  if (config_.mode == KernelMode::kNativeTopaz) {
+    for (int i = 0; i < machine_->num_processors(); ++i) {
+      hw::Processor* p = machine_->processor(i);
+      if (usable(p)) {
+        return p;
+      }
+    }
+    return nullptr;
+  }
+  for (hw::Processor* p : as->assigned()) {
+    if (usable(p)) {
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool Kernel::PlaceHighPriority(KThread* kt) {
+  // Native Topaz models interrupt-local wakeup: the wakeup lands on an
+  // arbitrary processor.  If that processor runs lower-priority work it is
+  // preempted — even if another processor is idle — which is exactly the
+  // behaviour the paper observed for daemon threads under the native
+  // scheduler (Section 5.3, Figure 1 discussion).
+  const int victim_id =
+      static_cast<int>(machine_->rng().Below(static_cast<uint64_t>(machine_->num_processors())));
+  hw::Processor* victim = machine_->processor(victim_id);
+  KThread* current = running_on(victim);
+  if (current == nullptr && !victim->has_span() &&
+      pending_[static_cast<size_t>(victim_id)].kind == PendingAction::Kind::kNone) {
+    ChargeDispatchAndRun(victim, kt);
+    return true;
+  }
+  if (current != nullptr && current->priority() < kt->priority()) {
+    PendingAction action;
+    action.kind = PendingAction::Kind::kDispatchThread;
+    action.thread = kt;
+    if (RequestPreemption(victim, action)) {
+      return true;
+    }
+  }
+  // Fall back to an idle processor anywhere.
+  hw::Processor* idle = FindIdleProcessorFor(kt->address_space());
+  if (idle != nullptr) {
+    ChargeDispatchAndRun(idle, kt);
+    return true;
+  }
+  return false;
+}
+
+void Kernel::MakeReady(KThread* kt) {
+  AddressSpace* as = kt->address_space();
+  SA_CHECK_MSG(as->mode() == AsMode::kKernelThreads || config_.mode == KernelMode::kNativeTopaz,
+               "activations are not scheduled through kernel ready queues");
+  SA_CHECK(kt->state() != KThreadState::kReady && kt->state() != KThreadState::kRunning);
+  kt->set_state(KThreadState::kReady);
+  ++as->runnable_threads;
+  UpdateKtDemand(as);
+
+  if (config_.mode == KernelMode::kNativeTopaz && kt->priority() > 0) {
+    if (PlaceHighPriority(kt)) {
+      return;
+    }
+    DomainFor(as)->ready.PushBack(kt);
+    return;
+  }
+
+  hw::Processor* idle = FindIdleProcessorFor(as);
+  if (idle != nullptr) {
+    ChargeDispatchAndRun(idle, kt);
+    return;
+  }
+  DomainFor(as)->ready.PushBack(kt);
+}
+
+void Kernel::ChargeDispatchAndRun(hw::Processor* proc, KThread* kt) {
+  SA_CHECK(running_on(proc) == nullptr);
+  SA_CHECK(kt->state() == KThreadState::kReady);
+  SetRunning(proc, kt);
+  kt->set_processor(proc);
+  kt->set_state(KThreadState::kRunning);
+  ++counters_.dispatches;
+  proc->BeginKernelSpan(DispatchCost(kt->address_space()), [this, kt] { RunThread(kt); });
+}
+
+void Kernel::RunThread(KThread* kt) {
+  kt->bump_dispatch_seq();
+  ArmQuantum(kt->processor(), kt);
+  kt->host()->RunOn(kt);
+}
+
+void Kernel::RunContextOn(hw::Processor* proc, KThread* kt, sim::Duration extra_kernel_cost) {
+  SA_CHECK(running_on(proc) == nullptr);
+  SetRunning(proc, kt);
+  kt->set_processor(proc);
+  kt->set_state(KThreadState::kRunning);
+  if (extra_kernel_cost > 0) {
+    proc->BeginKernelSpan(extra_kernel_cost, [this, kt] { RunThread(kt); });
+  } else {
+    RunThread(kt);
+  }
+}
+
+void Kernel::ArmQuantum(hw::Processor* proc, KThread* kt) {
+  if (DomainOfProcessor(proc) == nullptr) {
+    return;  // processor controlled by scheduler activations: no time-slicing
+  }
+  const uint64_t seq = kt->dispatch_seq();
+  const int proc_id = proc->id();
+  engine().ScheduleAfter(costs().kt_quantum,
+                         [this, proc_id, kt, seq] { OnQuantumFire(proc_id, kt, seq); });
+}
+
+void Kernel::OnQuantumFire(int proc_id, KThread* kt, uint64_t seq) {
+  hw::Processor* proc = machine_->processor(proc_id);
+  if (running_on(proc) != kt || kt->dispatch_seq() != seq ||
+      kt->state() != KThreadState::kRunning) {
+    return;  // stale timer
+  }
+  Domain* domain = DomainOfProcessor(proc);
+  if (domain == nullptr) {
+    return;
+  }
+  if (domain->ready.empty() || pending_[static_cast<size_t>(proc_id)].kind !=
+                                   PendingAction::Kind::kNone) {
+    // Nothing to rotate to (or the processor is already being preempted);
+    // check again a quantum later.
+    engine().ScheduleAfter(costs().kt_quantum,
+                           [this, proc_id, kt, seq] { OnQuantumFire(proc_id, kt, seq); });
+    return;
+  }
+  ++counters_.timeslices;
+  PendingAction action;
+  action.kind = PendingAction::Kind::kTimeslice;
+  RequestPreemption(proc, action);
+}
+
+void Kernel::DispatchOn(hw::Processor* proc) {
+  SA_CHECK(!proc->has_span());
+  const size_t pid = static_cast<size_t>(proc->id());
+  if (proc->ConsumeLatchedInterrupt()) {
+    PendingAction action = std::exchange(pending_[pid], PendingAction{});
+    if (action.kind != PendingAction::Kind::kNone) {
+      HandleAction(proc, action, /*stopped=*/nullptr);
+      return;
+    }
+  }
+  Domain* domain = DomainOfProcessor(proc);
+  if (domain == nullptr) {
+    // Unowned processor (free pool) or SA-controlled: nothing to dispatch.
+    ClearRunning(proc);
+    return;
+  }
+  KThread* next = domain->ready.PopFront();
+  if (next == nullptr) {
+    ClearRunning(proc);
+    if (domain->as != nullptr) {
+      UpdateKtDemand(domain->as);
+    }
+    return;
+  }
+  ChargeDispatchAndRun(proc, next);
+}
+
+// ---------------------------------------------------------------------------
+// Preemption machinery.
+// ---------------------------------------------------------------------------
+
+bool Kernel::RequestPreemption(hw::Processor* proc, PendingAction action) {
+  const size_t pid = static_cast<size_t>(proc->id());
+  if (pending_[pid].kind != PendingAction::Kind::kNone || proc->interrupt_latched()) {
+    return false;
+  }
+  pending_[pid] = action;
+  // Delivery is deferred to a zero-delay event: an inter-processor interrupt
+  // never lands in the middle of the current instruction.  This lets any
+  // in-flight syscall continuation on `proc` start its next span first; the
+  // interrupt then preempts that span cleanly.
+  engine().ScheduleAfter(0, [this, proc] {
+    if (pending_[static_cast<size_t>(proc->id())].kind == PendingAction::Kind::kNone) {
+      return;  // already handled (e.g. consumed at a dispatch point)
+    }
+    if (proc->interrupt_latched()) {
+      return;  // will fire at the next preemptible boundary
+    }
+    proc->RequestInterrupt();
+  });
+  return true;
+}
+
+void Kernel::OnInterrupt(hw::Processor* proc, hw::Interrupt irq) {
+  const size_t pid = static_cast<size_t>(proc->id());
+  PendingAction action = std::exchange(pending_[pid], PendingAction{});
+  SA_CHECK_MSG(action.kind != PendingAction::Kind::kNone,
+               "interrupt delivered with no pending action");
+  ++counters_.preempt_interrupts;
+
+  KThread* stopped = nullptr;
+  KThread* kt = running_on(proc);
+  if (kt != nullptr && !irq.was_idle) {
+    kt->host()->OnPreempted(kt, std::move(irq));
+    stopped = kt;
+  }
+  ClearRunning(proc);
+  HandleAction(proc, action, stopped);
+}
+
+void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* stopped) {
+  switch (action.kind) {
+    case PendingAction::Kind::kNone:
+      SA_UNREACHABLE();
+      break;
+
+    case PendingAction::Kind::kTimeslice: {
+      if (stopped != nullptr) {
+        stopped->set_state(KThreadState::kReady);
+        DomainFor(stopped->address_space())->ready.PushBack(stopped);
+      }
+      proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc] { DispatchOn(proc); });
+      break;
+    }
+
+    case PendingAction::Kind::kDispatchThread: {
+      if (stopped != nullptr) {
+        stopped->set_state(KThreadState::kReady);
+        DomainFor(stopped->address_space())->ready.PushBack(stopped);
+      }
+      KThread* target = action.thread;
+      proc->BeginKernelSpan(costs().preempt_interrupt,
+                            [this, proc, target] { ChargeDispatchAndRun(proc, target); });
+      break;
+    }
+
+    case PendingAction::Kind::kRevoke: {
+      AddressSpace* old_as = OwnerOf(proc);
+      if (old_as != nullptr) {
+        UnassignProcessor(proc);
+      }
+      if (stopped != nullptr) {
+        if (old_as != nullptr && old_as->mode() == AsMode::kSchedulerActivations) {
+          stopped->set_state(KThreadState::kStopped);
+          old_as->sa()->OnProcessorRevoked(proc, stopped);
+        } else {
+          stopped->set_state(KThreadState::kReady);
+          DomainFor(stopped->address_space())->ready.PushBack(stopped);
+        }
+      } else if (old_as != nullptr && old_as->mode() == AsMode::kSchedulerActivations) {
+        old_as->sa()->OnProcessorRevoked(proc, nullptr);
+      }
+      proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc, old_as] {
+        allocator_->OnRevokeComplete(old_as, proc);
+      });
+      break;
+    }
+
+    case PendingAction::Kind::kUpcallDeliver: {
+      if (stopped != nullptr) {
+        stopped->set_state(KThreadState::kStopped);
+      }
+      action.space->OnUpcallProcessorReady(proc, stopped);
+      break;
+    }
+
+    case PendingAction::Kind::kDebugStop: {
+      // Section 4.4: the stop is invisible to the thread system — no event is
+      // queued and the processor is lent to the debugger (left without a
+      // span) until DebuggerResume.
+      if (stopped != nullptr) {
+        stopped->set_state(KThreadState::kStopped);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Syscall services.
+// ---------------------------------------------------------------------------
+
+void Kernel::SysFork(KThread* caller, KThread* child, std::function<void()> done) {
+  ++counters_.forks;
+  SA_CHECK(caller->state() == KThreadState::kRunning);
+  SA_CHECK(child->state() == KThreadState::kBorn);
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(costs().kernel_trap + CreateCost(caller->address_space()),
+                        [this, child, done = std::move(done)] {
+                          MakeReady(child);
+                          done();
+                        });
+}
+
+void Kernel::SysExit(KThread* caller) {
+  ++counters_.exits;
+  SA_CHECK(caller->state() == KThreadState::kRunning);
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(
+      costs().kernel_trap + ExitCost(caller->address_space()), [this, caller, proc] {
+        caller->set_state(KThreadState::kDead);
+        --live_threads_;
+        AddressSpace* as = caller->address_space();
+        --as->runnable_threads;
+        UpdateKtDemand(as);
+        ClearRunning(proc);
+        DispatchOn(proc);
+      });
+}
+
+void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
+                         std::function<bool()> block_check,
+                         std::function<void()> not_blocked) {
+  SA_CHECK(caller->state() == KThreadState::kRunning);
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(
+      costs().kernel_trap + BlockCost(caller->address_space()),
+      [this, caller, proc, io, latency, block_check = std::move(block_check),
+       not_blocked = std::move(not_blocked)] {
+        if (block_check != nullptr && !block_check()) {
+          // The awaited condition arrived before we committed to sleeping.
+          SA_CHECK(not_blocked != nullptr);
+          not_blocked();
+          return;
+        }
+        caller->set_state(KThreadState::kBlocked);
+        AddressSpace* as = caller->address_space();
+        --as->runnable_threads;
+        UpdateKtDemand(as);
+        ClearRunning(proc);
+        if (io) {
+          engine().ScheduleAfter(latency, [this, caller] { OnIoComplete(caller); });
+        }
+        if (as->mode() == AsMode::kSchedulerActivations) {
+          as->sa()->OnThreadBlockedInKernel(caller, proc);
+        } else {
+          DispatchOn(proc);
+        }
+      });
+}
+
+void Kernel::SysBlockIo(KThread* caller, sim::Duration latency) {
+  ++counters_.io_blocks;
+  FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
+}
+
+void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
+                          std::function<void()> done) {
+  AddressSpace* as = caller->address_space();
+  if (as->vm().IsResident(page)) {
+    // Minor fault: kernel touches the page tables and returns.
+    ChargeKernel(caller, costs().kernel_trap, std::move(done));
+    return;
+  }
+  ++counters_.page_faults;
+  as->vm().CountFault();
+  // The page becomes resident when the paging I/O completes — strictly
+  // before the faulting thread is resumed (same timestamp, earlier event).
+  engine().ScheduleAfter(latency, [as, page] { as->vm().MakeResident(page); });
+  FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
+}
+
+void Kernel::SysBlockWait(KThread* caller, std::function<bool()> block_check,
+                          std::function<void()> not_blocked) {
+  ++counters_.kernel_waits;
+  FinishBlock(caller, /*io=*/false, 0, std::move(block_check), std::move(not_blocked));
+}
+
+void Kernel::SysYield(KThread* caller) {
+  SA_CHECK(caller->state() == KThreadState::kRunning);
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(costs().kernel_trap, [this, caller, proc] {
+    AddressSpace* as = caller->address_space();
+    ClearRunning(proc);
+    caller->set_state(KThreadState::kReady);
+    DomainFor(as)->ready.PushBack(caller);
+    DispatchOn(proc);
+  });
+}
+
+void Kernel::OnIoComplete(KThread* kt) {
+  SA_CHECK(kt->state() == KThreadState::kBlocked);
+  AddressSpace* as = kt->address_space();
+  if (as->mode() == AsMode::kSchedulerActivations) {
+    as->sa()->OnThreadUnblockedInKernel(kt);
+    return;
+  }
+  kt->host()->OnUnblocked(kt);
+  MakeReady(kt);
+}
+
+void Kernel::SysWakeup(KThread* caller, KThread* target, std::function<void()> done) {
+  ++counters_.wakeups;
+  SA_CHECK(caller->state() == KThreadState::kRunning);
+  SA_CHECK_MSG(target->state() == KThreadState::kBlocked, "waking a non-blocked thread");
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(costs().kernel_trap + WakeupCost(caller->address_space()),
+                        [this, target, done = std::move(done)] {
+                          OnIoComplete(target);
+                          done();
+                        });
+}
+
+void Kernel::ChargeKernel(KThread* caller, sim::Duration d, std::function<void()> done) {
+  caller->processor()->BeginKernelSpan(d, std::move(done));
+}
+
+void Kernel::UpdateKtDemand(AddressSpace* as) {
+  if (allocator_ == nullptr || as->mode() != AsMode::kKernelThreads) {
+    return;
+  }
+  allocator_->SetDesired(as, as->runnable_threads);
+}
+
+}  // namespace sa::kern

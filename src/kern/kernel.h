@@ -1,0 +1,244 @@
+// The simulated operating system kernel.
+//
+// Two personalities, selected by Config::mode:
+//
+//  * kNativeTopaz — models the unmodified Topaz kernel the paper's baselines
+//    ran on: one global ready queue, round-robin quantum time-slicing,
+//    scheduling oblivious to address spaces and to user-level thread state.
+//    Higher-priority wakeups (daemon threads) land on the processor where
+//    the wakeup interrupt happens to arrive, preempting whatever runs there.
+//
+//  * kSchedulerActivations — the paper's modified kernel: processors are
+//    explicitly allocated to address spaces by the space-sharing allocator
+//    (Section 4.1); kKernelThreads spaces still run under a per-space Topaz
+//    scheduler on their allocated processors (binary compatibility), while
+//    kSchedulerActivations spaces receive events via upcalls (src/core/).
+//
+// All kernel services charge virtual time on the calling context's processor
+// and complete through continuations.  Continuations must never capture a
+// Processor pointer directly — always re-read `kt->processor()` — because a
+// preempted execution may be continued on a different processor.
+
+#ifndef SA_KERN_KERNEL_H_
+#define SA_KERN_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/intrusive_list.h"
+#include "src/hw/machine.h"
+#include "src/kern/address_space.h"
+#include "src/kern/costs.h"
+#include "src/kern/kthread.h"
+
+namespace sa::kern {
+
+class ProcessorAllocator;
+
+enum class KernelMode {
+  kNativeTopaz,
+  kSchedulerActivations,
+};
+
+struct Config {
+  CostModel costs;
+  KernelMode mode = KernelMode::kNativeTopaz;
+  // Section 5.2: project the upcall path as if recoded/tuned (divides upcall
+  // delivery cost by costs.sa_tuned_factor).
+  bool tuned_upcalls = false;
+  // Section 4.3: cache and recycle discarded activations (ablation switch).
+  bool recycle_activations = true;
+};
+
+// Event counters for experiments and tests.
+struct KernelCounters {
+  int64_t forks = 0;
+  int64_t exits = 0;
+  int64_t io_blocks = 0;
+  int64_t page_faults = 0;
+  int64_t upcall_page_fault_delays = 0;  // Section 3.1 special case
+  int64_t kernel_waits = 0;
+  int64_t wakeups = 0;
+  int64_t timeslices = 0;
+  int64_t preempt_interrupts = 0;
+  int64_t dispatches = 0;
+  // Scheduler-activation machinery (filled in by src/core/).
+  int64_t upcalls = 0;
+  int64_t upcall_events = 0;
+  int64_t upcalls_add_processor = 0;
+  int64_t upcalls_preempted = 0;
+  int64_t upcalls_blocked = 0;
+  int64_t upcalls_unblocked = 0;
+  int64_t downcalls_add_more = 0;
+  int64_t downcalls_idle = 0;
+  int64_t downcalls_discard = 0;
+  int64_t downcalls_preempt_request = 0;
+  int64_t activation_allocs = 0;
+  int64_t activation_reuses = 0;
+  int64_t delayed_notifications = 0;
+  int64_t cs_recoveries = 0;  // critical-section continuations at user level
+};
+
+// Why the kernel asked a processor to stop (set before RequestInterrupt).
+struct PendingAction {
+  enum class Kind {
+    kNone,
+    kTimeslice,         // round-robin: requeue current, dispatch next
+    kDispatchThread,    // priority wakeup: requeue current, run `thread`
+    kRevoke,            // allocator takes the processor away from its space
+    kUpcallDeliver,     // stop current activation; space delivers an upcall here
+    kDebugStop,         // debugger stop: save state, no notification (§4.4)
+  };
+  Kind kind = Kind::kNone;
+  KThread* thread = nullptr;       // kDispatchThread
+  SaSpaceIface* space = nullptr;   // kUpcallDeliver
+};
+
+class Kernel {
+ public:
+  Kernel(hw::Machine* machine, Config config);
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  hw::Machine* machine() { return machine_; }
+  sim::Engine& engine() { return machine_->engine(); }
+  const CostModel& costs() const { return config_.costs; }
+  const Config& config() const { return config_; }
+  KernelMode mode() const { return config_.mode; }
+  KernelCounters& counters() { return counters_; }
+  ProcessorAllocator* allocator() { return allocator_.get(); }
+
+  // ---- setup (boot time, cost-free) ----
+  AddressSpace* CreateAddressSpace(const std::string& name, AsMode mode, int priority);
+  KThread* CreateThread(AddressSpace* as, KThreadHost* host, void* host_data);
+  // Makes a thread runnable without charging syscall costs (boot/startup).
+  void StartThread(KThread* kt);
+
+  // ---- syscall services ----
+  // All must be invoked from code logically running as `caller` on
+  // `caller->processor()`.  `done` resumes the caller's user execution.
+
+  // Create a new thread in the caller's space (Topaz Fork).
+  void SysFork(KThread* caller, KThread* child, std::function<void()> done);
+  // Terminate the calling thread.
+  void SysExit(KThread* caller);
+  // Block in the kernel for a device operation of the given latency.
+  void SysBlockIo(KThread* caller, sim::Duration latency);
+  // Touch a virtual page.  Resident: a trap-only minor fault (`done`
+  // resumes the caller).  Not resident: the caller blocks for `latency`
+  // exactly like I/O and the page becomes resident at completion.
+  void SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
+                    std::function<void()> done);
+  // Block in the kernel until SysWakeup(target=caller).  `block_check` runs
+  // atomically inside the kernel at commit point: return true to block
+  // (register on a wait queue there), false to abort the sleep (lost-wakeup
+  // avoidance); on abort, `not_blocked` resumes the caller.
+  void SysBlockWait(KThread* caller, std::function<bool()> block_check,
+                    std::function<void()> not_blocked);
+  // Voluntarily yield the processor (requeue at the back of the domain).
+  void SysYield(KThread* caller);
+  // Make a kernel-blocked thread runnable again.
+  void SysWakeup(KThread* caller, KThread* target, std::function<void()> done);
+  // Charge an arbitrary kernel-mode span on the caller's processor (traps
+  // that do not block: TAS fallback paths, downcalls).
+  void ChargeKernel(KThread* caller, sim::Duration d, std::function<void()> done);
+
+  // ---- scheduling (kKernelThreads spaces) ----
+  void MakeReady(KThread* kt);
+  // Gives `proc` (which must have no span) something to do: runs a latched
+  // action, dispatches from its domain queue, or leaves it idle.
+  void DispatchOn(hw::Processor* proc);
+
+  KThread* running_on(const hw::Processor* proc) const {
+    return running_[static_cast<size_t>(proc->id())];
+  }
+
+  // ---- hooks used by the allocator and SA machinery (src/core/) ----
+  // Requests an interrupt with the given purpose; returns false if another
+  // action is already pending on that processor.
+  bool RequestPreemption(hw::Processor* proc, PendingAction action);
+  // Re-binds a running context to a processor (dispatch bookkeeping + host
+  // RunOn after charging `dispatch_cost`).  Used by SA upcall delivery.
+  void RunContextOn(hw::Processor* proc, KThread* kt, sim::Duration extra_kernel_cost);
+  // Clears the running marker (processor going idle or leaving kernel
+  // control).
+  void ClearRunning(hw::Processor* proc) {
+    running_[static_cast<size_t>(proc->id())] = nullptr;
+  }
+  void SetRunning(hw::Processor* proc, KThread* kt) {
+    running_[static_cast<size_t>(proc->id())] = kt;
+  }
+
+  // Explicit-allocation ownership bookkeeping (SA mode).
+  void AssignProcessor(hw::Processor* proc, AddressSpace* as);
+  void UnassignProcessor(hw::Processor* proc);
+  AddressSpace* OwnerOf(const hw::Processor* proc) const;
+
+  // Demand bookkeeping for kKernelThreads spaces under the explicit
+  // allocator: desired = runnable thread count.
+  void UpdateKtDemand(AddressSpace* as);
+
+  // Effective upcall delivery cost (honours tuned_upcalls).
+  sim::Duration UpcallCost() const;
+
+  // Total number of live (not dead) workload threads across spaces — used by
+  // harnesses to detect completion.
+  int64_t live_threads() const { return live_threads_; }
+
+ private:
+  friend class ProcessorAllocator;
+
+  // Per-scheduling-domain state.  Native mode: a single global domain.
+  // SA mode: one domain per kKernelThreads space.
+  struct Domain {
+    AddressSpace* as = nullptr;  // null for the global native domain
+    common::IntrusiveList<KThread, &KThread::queue_node> ready;
+  };
+
+  Domain* DomainFor(AddressSpace* as);
+  // The domain whose queue feeds this processor (native: global; SA mode:
+  // the kt-space the processor is assigned to, if any).
+  Domain* DomainOfProcessor(hw::Processor* proc);
+
+  void OnInterrupt(hw::Processor* proc, hw::Interrupt irq);
+  void HandleAction(hw::Processor* proc, PendingAction action, KThread* stopped);
+  void ChargeDispatchAndRun(hw::Processor* proc, KThread* kt);
+  void RunThread(KThread* kt);
+  void ArmQuantum(hw::Processor* proc, KThread* kt);
+  void OnQuantumFire(int proc_id, KThread* kt, uint64_t seq);
+  void OnIoComplete(KThread* kt);
+  void FinishBlock(KThread* caller, bool io, sim::Duration latency,
+                   std::function<bool()> block_check, std::function<void()> not_blocked);
+  hw::Processor* FindIdleProcessorFor(AddressSpace* as);
+  // Native mode: place a high-priority wakeup at a random processor
+  // (modelling interrupt-local delivery); may preempt lower-priority work.
+  bool PlaceHighPriority(KThread* kt);
+
+  sim::Duration CreateCost(const AddressSpace* as) const;
+  sim::Duration ExitCost(const AddressSpace* as) const;
+  sim::Duration DispatchCost(const AddressSpace* as) const;
+  sim::Duration BlockCost(const AddressSpace* as) const;
+  sim::Duration WakeupCost(const AddressSpace* as) const;
+
+  hw::Machine* machine_;
+  Config config_;
+  KernelCounters counters_;
+  std::unique_ptr<ProcessorAllocator> allocator_;
+
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<KThread*> running_;           // per processor id
+  std::vector<PendingAction> pending_;      // per processor id
+  std::vector<AddressSpace*> owner_;        // per processor id (SA mode)
+  Domain global_domain_;                    // native mode
+  std::vector<std::unique_ptr<Domain>> kt_domains_;  // SA mode, per kt space
+  int64_t next_thread_id_ = 1;
+  int64_t live_threads_ = 0;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_KERNEL_H_

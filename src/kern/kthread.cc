@@ -1,0 +1,36 @@
+#include "src/kern/kthread.h"
+
+#include <cstdio>
+
+#include "src/kern/address_space.h"
+
+namespace sa::kern {
+
+const char* KThreadStateName(KThreadState s) {
+  switch (s) {
+    case KThreadState::kBorn:
+      return "born";
+    case KThreadState::kReady:
+      return "ready";
+    case KThreadState::kRunning:
+      return "running";
+    case KThreadState::kBlocked:
+      return "blocked";
+    case KThreadState::kStopped:
+      return "stopped";
+    case KThreadState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+std::string KThread::DebugString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "kt%lld(%s,%s%s,p%d)", static_cast<long long>(id_),
+                as_ != nullptr ? as_->name().c_str() : "?", KThreadStateName(state_),
+                is_activation() ? ",act" : "",
+                processor_ != nullptr ? processor_->id() : -1);
+  return buf;
+}
+
+}  // namespace sa::kern

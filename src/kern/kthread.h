@@ -1,0 +1,127 @@
+// Kernel threads (and the kernel half of scheduler activations).
+//
+// A KThread is the kernel execution context: a kernel stack, a control block,
+// and (while running) a physical processor.  Scheduler activations share this
+// structure — the paper notes an activation's data structures are "quite
+// similar to those of a traditional kernel thread" — so an activation is a
+// KThread with `activation()` state attached (see src/core/activation.h).
+//
+// What a KThread *does* with a processor is delegated to its KThreadHost:
+// the Topaz-threads runtime resumes a workload coroutine, the FastThreads
+// virtual-processor host runs the user-level dispatcher, the activation host
+// delivers upcalls.  The kernel itself never interprets user-level state.
+
+#ifndef SA_KERN_KTHREAD_H_
+#define SA_KERN_KTHREAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/intrusive_list.h"
+#include "src/hw/processor.h"
+
+namespace sa::core {
+class Activation;
+}  // namespace sa::core
+
+namespace sa::kern {
+
+class AddressSpace;
+class KThread;
+
+enum class KThreadState {
+  kBorn,     // created, never started
+  kReady,    // runnable, waiting for a processor
+  kRunning,  // on a processor
+  kBlocked,  // blocked in the kernel (I/O, page fault, kernel wait)
+  kStopped,  // stopped by the kernel, ownership passed to user level (SA only)
+  kDead,     // exited
+};
+
+const char* KThreadStateName(KThreadState s);
+
+// User-side behaviour of a kernel context.  Implementations live in the
+// runtime layers; the kernel calls these without knowing what they host.
+class KThreadHost {
+ public:
+  virtual ~KThreadHost() = default;
+
+  // `kt` has been given processor `kt->processor()`; begin or continue its
+  // user-level execution.  Called after the kernel's dispatch cost has been
+  // charged.
+  virtual void RunOn(KThread* kt) = 0;
+
+  // `kt`'s user-mode span was interrupted (preemption).  Save whatever is
+  // needed to continue later; the kernel completes the preemption protocol
+  // after this returns.  `irq.was_idle` is possible if the processor was
+  // caught between spans.
+  virtual void OnPreempted(KThread* kt, hw::Interrupt irq) = 0;
+
+  // `kt` blocked in the kernel earlier and the awaited event has completed;
+  // in kernel-thread semantics it will be resumed directly later (RunOn).
+  // Gives the host a chance to update bookkeeping.  Default: nothing.
+  virtual void OnUnblocked(KThread* kt) {}
+};
+
+class KThread {
+ public:
+  KThread(int64_t id, AddressSpace* as, KThreadHost* host)
+      : id_(id), as_(as), host_(host) {}
+  KThread(const KThread&) = delete;
+  KThread& operator=(const KThread&) = delete;
+
+  int64_t id() const { return id_; }
+  AddressSpace* address_space() const { return as_; }
+  KThreadHost* host() const { return host_; }
+  void set_host(KThreadHost* host) { host_ = host; }
+
+  KThreadState state() const { return state_; }
+  void set_state(KThreadState s) { state_ = s; }
+
+  hw::Processor* processor() const { return processor_; }
+  void set_processor(hw::Processor* p) { processor_ = p; }
+
+  // Opaque cookie for the host (e.g. the workload thread or the vcpu slot).
+  void* host_data() const { return host_data_; }
+  void set_host_data(void* data) { host_data_ = data; }
+
+  int priority() const { return priority_; }
+  void set_priority(int p) { priority_ = p; }
+
+  // Saved user-mode execution state from the last preemption; continued by
+  // the host on the next RunOn (kernel-thread semantics) or shipped to user
+  // level in an upcall (activation semantics).
+  hw::SavedSpan& saved_span() { return saved_span_; }
+
+  // Activation state; null for plain kernel threads.
+  core::Activation* activation() const { return activation_; }
+  void set_activation(core::Activation* a) { activation_ = a; }
+  bool is_activation() const { return activation_ != nullptr; }
+
+  // Monotonic count of times this thread was dispatched; used to invalidate
+  // stale per-dispatch events (quantum timers).
+  uint64_t dispatch_seq() const { return dispatch_seq_; }
+  void bump_dispatch_seq() { ++dispatch_seq_; }
+
+  std::string DebugString() const;
+
+  // Scheduler linkage (ready queues, wait queues).
+  common::ListNode queue_node;
+
+ private:
+  const int64_t id_;
+  AddressSpace* const as_;
+  KThreadHost* host_;
+  KThreadState state_ = KThreadState::kBorn;
+  hw::Processor* processor_ = nullptr;
+  void* host_data_ = nullptr;
+  int priority_ = 0;
+  hw::SavedSpan saved_span_;
+  core::Activation* activation_ = nullptr;
+  uint64_t dispatch_seq_ = 0;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_KTHREAD_H_

@@ -1,0 +1,213 @@
+#include "src/kern/proc_alloc.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/kern/kernel.h"
+
+namespace sa::kern {
+
+namespace {
+constexpr const char* kLog = "alloc";
+}  // namespace
+
+ProcessorAllocator::ProcessorAllocator(Kernel* kernel) : kernel_(kernel) {}
+
+void ProcessorAllocator::RegisterSpace(AddressSpace* as) {
+  spaces_.push_back(as);
+  pending_revokes_[as->id()] = 0;
+}
+
+void ProcessorAllocator::AddFree(hw::Processor* proc) { free_.push_back(proc); }
+
+int ProcessorAllocator::PendingRevokes(const AddressSpace* as) const {
+  auto it = pending_revokes_.find(as->id());
+  return it == pending_revokes_.end() ? 0 : it->second;
+}
+
+void ProcessorAllocator::SetDesired(AddressSpace* as, int desired) {
+  SA_CHECK(desired >= 0);
+  if (as->desired_processors() == desired) {
+    return;
+  }
+  as->set_desired_processors(desired);
+  SA_DEBUG(kLog, "space %s now wants %d processors", as->name().c_str(), desired);
+  Rebalance();
+}
+
+std::vector<int> ProcessorAllocator::ComputeTargets() const {
+  // Spaces are processed a priority tier at a time (highest first).  Within
+  // a tier, processors are divided evenly; a space that wants less than its
+  // even share is capped at its demand and the surplus is re-divided among
+  // the rest of the tier (the paper's space-sharing policy, Section 4.1).
+  std::vector<int> target(spaces_.size(), 0);
+  int remaining = kernel_->machine()->num_processors();
+
+  std::vector<int> priorities;
+  for (const AddressSpace* as : spaces_) {
+    priorities.push_back(as->priority());
+  }
+  std::sort(priorities.begin(), priorities.end(), std::greater<int>());
+  priorities.erase(std::unique(priorities.begin(), priorities.end()), priorities.end());
+
+  for (int prio : priorities) {
+    if (remaining == 0) {
+      break;
+    }
+    std::vector<size_t> tier;
+    for (size_t i = 0; i < spaces_.size(); ++i) {
+      if (spaces_[i]->priority() == prio && spaces_[i]->desired_processors() > 0) {
+        tier.push_back(i);
+      }
+    }
+    if (tier.empty()) {
+      continue;
+    }
+    // Iterate: cap satisfied spaces at their demand, re-split the rest.
+    std::vector<size_t> open = tier;
+    int pool = remaining;
+    while (!open.empty() && pool > 0) {
+      const int share = pool / static_cast<int>(open.size());
+      bool capped_any = false;
+      for (auto it = open.begin(); it != open.end();) {
+        const size_t i = *it;
+        const int want = spaces_[i]->desired_processors() - target[i];
+        if (want <= share) {
+          target[i] += want;
+          pool -= want;
+          it = open.erase(it);
+          capped_any = true;
+        } else {
+          ++it;
+        }
+      }
+      if (capped_any) {
+        continue;
+      }
+      // Everyone still open wants more than the share: give each the share,
+      // then hand out the leftover one-by-one in space-id order.
+      for (size_t i : open) {
+        target[i] += share;
+        pool -= share;
+      }
+      for (auto it = open.begin(); it != open.end() && pool > 0; ++it) {
+        target[*it] += 1;
+        --pool;
+      }
+      open.clear();
+    }
+    remaining = pool;
+  }
+  return target;
+}
+
+void ProcessorAllocator::Rebalance() {
+  if (rebalancing_) {
+    rerun_ = true;
+    return;
+  }
+  rebalancing_ = true;
+  do {
+    rerun_ = false;
+    const std::vector<int> target = ComputeTargets();
+
+    // Revocation pass: spaces above target give up their most recently
+    // granted processors (but only if some other space will use them).
+    bool someone_needs = false;
+    for (size_t i = 0; i < spaces_.size(); ++i) {
+      const int have = static_cast<int>(spaces_[i]->assigned().size()) -
+                       PendingRevokes(spaces_[i]);
+      if (have < target[i]) {
+        someone_needs = true;
+        break;
+      }
+    }
+    for (size_t i = 0; i < spaces_.size() && someone_needs; ++i) {
+      AddressSpace* as = spaces_[i];
+      int surplus = static_cast<int>(as->assigned().size()) - PendingRevokes(as) - target[i];
+      if (surplus <= 0) {
+        continue;
+      }
+      // Walk from the most recently granted processor backwards.
+      std::vector<hw::Processor*> candidates(as->assigned().rbegin(), as->assigned().rend());
+      for (hw::Processor* proc : candidates) {
+        if (surplus == 0) {
+          break;
+        }
+        if (kernel_->running_on(proc) == nullptr && !proc->has_span()) {
+          // Idle in kernel: reclaim immediately.
+          kernel_->UnassignProcessor(proc);
+          if (as->mode() == AsMode::kSchedulerActivations) {
+            as->sa()->OnProcessorRevoked(proc, nullptr);
+          }
+          free_.push_back(proc);
+          --surplus;
+          continue;
+        }
+        PendingAction action;
+        action.kind = PendingAction::Kind::kRevoke;
+        if (kernel_->RequestPreemption(proc, action)) {
+          ++pending_revokes_[as->id()];
+          --surplus;
+        }
+      }
+    }
+
+    GrantFreeProcessors();
+  } while (rerun_);
+  rebalancing_ = false;
+}
+
+void ProcessorAllocator::GrantFreeProcessors() {
+  for (;;) {
+    if (free_.empty()) {
+      return;
+    }
+    const std::vector<int> target = ComputeTargets();
+    // Pick the neediest space: highest priority first, then largest deficit,
+    // then lowest id (deterministic).
+    AddressSpace* best = nullptr;
+    int best_deficit = 0;
+    for (size_t i = 0; i < spaces_.size(); ++i) {
+      AddressSpace* as = spaces_[i];
+      const int deficit = target[i] - static_cast<int>(as->assigned().size());
+      if (deficit <= 0) {
+        continue;
+      }
+      if (best == nullptr || as->priority() > best->priority() ||
+          (as->priority() == best->priority() && deficit > best_deficit)) {
+        best = as;
+        best_deficit = deficit;
+      }
+    }
+    if (best == nullptr) {
+      return;  // idle processors stay in the free pool
+    }
+    hw::Processor* proc = free_.back();
+    free_.pop_back();
+    Grant(proc, best);
+  }
+}
+
+void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
+  SA_DEBUG(kLog, "grant processor %d to %s", proc->id(), as->name().c_str());
+  kernel_->AssignProcessor(proc, as);
+  if (as->mode() == AsMode::kSchedulerActivations) {
+    as->sa()->OnProcessorGranted(proc);
+  } else {
+    kernel_->DispatchOn(proc);
+  }
+}
+
+void ProcessorAllocator::OnRevokeComplete(AddressSpace* old_as, hw::Processor* proc) {
+  if (old_as != nullptr) {
+    auto it = pending_revokes_.find(old_as->id());
+    if (it != pending_revokes_.end() && it->second > 0) {
+      --it->second;
+    }
+  }
+  free_.push_back(proc);
+  Rebalance();
+}
+
+}  // namespace sa::kern

@@ -1,0 +1,72 @@
+// Space-sharing processor allocator (Section 4.1).
+//
+// Implements the paper's variant of the Zahorjan & McCann dynamic policy:
+// processors are divided evenly among the address spaces that want them,
+// higher-priority spaces are satisfied first, and no processor is left idle
+// while some space wants one.  If a space does not need its full share, the
+// surplus is divided evenly among the rest.  Address spaces using kernel
+// threads and address spaces using scheduler activations compete identically;
+// only the delivery differs (Topaz dispatch vs. add-processor upcall).
+//
+// Revocation is asynchronous: the allocator requests a preemption interrupt
+// and the processor arrives in OnRevokeComplete once its user-level state has
+// been saved and its space notified.
+//
+// Simplification vs. the paper: fractional shares are not time-sliced among
+// same-priority spaces; leftover processors are granted whole (deterministic
+// by space id).  The experiments reproduced here use exact divisions.
+
+#ifndef SA_KERN_PROC_ALLOC_H_
+#define SA_KERN_PROC_ALLOC_H_
+
+#include <map>
+#include <vector>
+
+#include "src/kern/address_space.h"
+
+namespace sa::kern {
+
+class Kernel;
+
+class ProcessorAllocator {
+ public:
+  explicit ProcessorAllocator(Kernel* kernel);
+
+  void RegisterSpace(AddressSpace* as);
+
+  // Demand change (Table-3 downcalls for SA spaces; runnable-thread count
+  // for kernel-thread spaces).  Triggers a rebalance.
+  void SetDesired(AddressSpace* as, int desired);
+
+  // Recomputes targets; issues revocations and grants.
+  void Rebalance();
+
+  // A revoked processor has been fully stopped and detached.
+  void OnRevokeComplete(AddressSpace* old_as, hw::Processor* proc);
+
+  // A processor with no owner and no work (boot, space exit).
+  void AddFree(hw::Processor* proc);
+
+  int num_free() const { return static_cast<int>(free_.size()); }
+
+  // Fair-share targets, index-aligned with registered spaces.  Exposed for
+  // tests.
+  std::vector<int> ComputeTargets() const;
+  const std::vector<AddressSpace*>& spaces() const { return spaces_; }
+
+ private:
+  int PendingRevokes(const AddressSpace* as) const;
+  void GrantFreeProcessors();
+  void Grant(hw::Processor* proc, AddressSpace* as);
+
+  Kernel* kernel_;
+  std::vector<AddressSpace*> spaces_;
+  std::vector<hw::Processor*> free_;
+  std::map<int, int> pending_revokes_;  // space id -> in-flight revocations
+  bool rebalancing_ = false;
+  bool rerun_ = false;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_PROC_ALLOC_H_

@@ -1,0 +1,49 @@
+// Kernel-internal interface to the scheduler-activation machinery.
+//
+// The kernel proper (this directory) stays ignorant of activation policy; it
+// calls through this interface at exactly the points where, for a
+// kKernelThreads space, it would instead make a scheduling decision itself.
+// The implementation lives in src/core/sa_space.h — the paper's contribution.
+
+#ifndef SA_KERN_SA_IFACE_H_
+#define SA_KERN_SA_IFACE_H_
+
+#include "src/hw/processor.h"
+
+namespace sa::kern {
+
+class KThread;
+
+class SaSpaceIface {
+ public:
+  virtual ~SaSpaceIface() = default;
+
+  // The allocator granted `proc` to this space.  Deliver an add-processor
+  // upcall (plus any pending notifications) on it.
+  virtual void OnProcessorGranted(hw::Processor* proc) = 0;
+
+  // The allocator revoked `proc`.  `stopped` is the activation that was
+  // running there (nullptr if the processor was idle); its user-level state
+  // has already been saved by the host.  Queue the preemption notification
+  // (delivered via another processor, or delayed if this was the last one).
+  virtual void OnProcessorRevoked(hw::Processor* proc, KThread* stopped) = 0;
+
+  // An activation of this space blocked in the kernel (I/O, page fault,
+  // kernel wait) while holding `proc`.  Per the paper, the kernel performs a
+  // fresh-activation upcall on the same processor so it keeps doing useful
+  // work for this space.
+  virtual void OnThreadBlockedInKernel(KThread* blocked, hw::Processor* proc) = 0;
+
+  // A previously blocked activation finished its kernel-side work and would
+  // return to user level; notify the user level with an unblocked upcall
+  // (requires a processor: preempt one of ours or ask the allocator).
+  virtual void OnThreadUnblockedInKernel(KThread* unblocked) = 0;
+
+  // A processor assigned to this space was targeted for an upcall (second
+  // preemption used to deliver notifications).  `stopped` as above.
+  virtual void OnUpcallProcessorReady(hw::Processor* proc, KThread* stopped) = 0;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_SA_IFACE_H_

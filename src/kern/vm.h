@@ -1,0 +1,50 @@
+// Virtual-memory model: per-address-space resident sets and page faults.
+//
+// A page fault is a blocking kernel event like I/O — the faulting context
+// blocks for the paging latency and the completion is routed through the
+// same MakeReady / unblocked-upcall paths (the paper treats I/O and page
+// faults uniformly).  Two extras are modelled here:
+//
+//  * a resident-set map, so repeated touches of a resident page are free;
+//  * the Section 3.1 special case: "an upcall to notify the program of a
+//    page fault may in turn page fault on the same location; the kernel
+//    must check for this, and when it occurs, delay the subsequent upcall
+//    until the page fault completes."  The pages holding an address space's
+//    upcall entry path are tracked; if they are not resident when an upcall
+//    is about to be delivered, the kernel first faults them in (see
+//    core::SaSpace::DeliverOn).
+
+#ifndef SA_KERN_VM_H_
+#define SA_KERN_VM_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/sim/time.h"
+
+namespace sa::kern {
+
+class VmSpace {
+ public:
+  // Pages that must be resident to run the user-level upcall handler.
+  static constexpr int64_t kUpcallEntryPage = -1;
+
+  bool IsResident(int64_t page) const { return resident_.count(page) > 0; }
+
+  void MakeResident(int64_t page) { resident_.insert(page); }
+
+  // Evicts a page (the machinery for experiments that page out the upcall
+  // path; the application-level buffer cache in src/apps models data pages).
+  void Evict(int64_t page) { resident_.erase(page); }
+
+  int64_t faults() const { return faults_; }
+  void CountFault() { ++faults_; }
+
+ private:
+  std::unordered_set<int64_t> resident_;
+  int64_t faults_ = 0;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_VM_H_

@@ -1,0 +1,68 @@
+#include "src/rt/harness.h"
+
+#include "src/rt/topaz_runtime.h"
+
+namespace sa::rt {
+
+Harness::Harness(HarnessConfig config)
+    : config_(config),
+      machine_(config.processors, config.seed),
+      kernel_(&machine_, config.kernel) {}
+
+Harness::~Harness() = default;
+
+void Harness::AddRuntime(Runtime* rt, bool background) {
+  SA_CHECK(!started_);
+  runtimes_.push_back(Entry{rt, background});
+}
+
+Runtime* Harness::AddDaemon(const std::string& name, sim::Duration period,
+                            sim::Duration busy) {
+  auto daemon = std::make_unique<TopazRuntime>(&kernel_, name, /*heavyweight=*/false,
+                                               /*priority=*/1);
+  daemon->Spawn(
+      [period, busy](ThreadCtx& t) -> sim::Program {
+        for (;;) {
+          co_await t.Io(period);  // sleep until the next wakeup
+          co_await t.Compute(busy);
+        }
+      },
+      name + "-loop");
+  Runtime* raw = daemon.get();
+  owned_.push_back(std::move(daemon));
+  AddRuntime(raw, /*background=*/true);
+  return raw;
+}
+
+void Harness::Start() {
+  SA_CHECK(!started_);
+  started_ = true;
+  for (Entry& e : runtimes_) {
+    e.rt->Start();
+  }
+}
+
+bool Harness::AllDone() const {
+  for (const Entry& e : runtimes_) {
+    if (!e.background && !e.rt->AllDone()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Time Harness::Run(uint64_t max_events) {
+  if (!started_) {
+    Start();
+  }
+  uint64_t fired = 0;
+  while (!AllDone()) {
+    SA_CHECK_MSG(fired < max_events, "simulation exceeded event budget (livelock?)");
+    const bool progressed = engine().Step();
+    SA_CHECK_MSG(progressed, "event queue drained before workloads finished (deadlock?)");
+    ++fired;
+  }
+  return engine().now();
+}
+
+}  // namespace sa::rt

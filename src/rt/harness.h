@@ -1,0 +1,70 @@
+// Experiment harness: builds a machine + kernel, hosts runtimes, runs the
+// simulation until all foreground workloads finish, and reports timing and
+// processor-usage breakdowns.
+
+#ifndef SA_RT_HARNESS_H_
+#define SA_RT_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/rt/runtime.h"
+
+namespace sa::rt {
+
+struct HarnessConfig {
+  int processors = 6;  // the paper's Firefly had six CVAX processors
+  uint64_t seed = 1;
+  kern::Config kernel;
+};
+
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config);
+  ~Harness();
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  hw::Machine& machine() { return machine_; }
+  kern::Kernel& kernel() { return kernel_; }
+  sim::Engine& engine() { return machine_.engine(); }
+  const HarnessConfig& config() const { return config_; }
+
+  // Registers a runtime.  Background runtimes (daemons) do not gate
+  // completion.  The harness does not own runtimes.
+  void AddRuntime(Runtime* rt, bool background = false);
+
+  // Adds a Topaz-threads daemon address space: a thread that sleeps for
+  // `period`, computes for `busy`, repeats — the paper's "daemon threads
+  // which wake up periodically, execute briefly, and go back to sleep".
+  Runtime* AddDaemon(const std::string& name, sim::Duration period, sim::Duration busy);
+
+  // Starts every registered runtime.
+  void Start();
+
+  // Runs the simulation until all foreground runtimes are done (or the event
+  // queue drains / `max_events` fire).  Returns the virtual completion time.
+  sim::Time Run(uint64_t max_events = 500000000);
+
+  // True iff every foreground runtime reports AllDone.
+  bool AllDone() const;
+
+ private:
+  HarnessConfig config_;
+  hw::Machine machine_;
+  kern::Kernel kernel_;
+  struct Entry {
+    Runtime* rt;
+    bool background;
+  };
+  std::vector<Entry> runtimes_;
+  std::vector<std::unique_ptr<Runtime>> owned_;
+  bool started_ = false;
+};
+
+}  // namespace sa::rt
+
+#endif  // SA_RT_HARNESS_H_

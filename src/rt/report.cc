@@ -1,0 +1,68 @@
+#include "src/rt/report.h"
+
+#include "src/common/table.h"
+
+namespace sa::rt {
+
+namespace {
+
+double Fraction(sim::Duration part, sim::Duration whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole) : 0.0;
+}
+
+}  // namespace
+
+double RunReport::UserUtilization() const {
+  const sim::Duration total = user + mgmt + kernel + spin + idle_spin + idle;
+  return Fraction(user, total);
+}
+
+double RunReport::WastedFraction() const {
+  const sim::Duration total = user + mgmt + kernel + spin + idle_spin + idle;
+  return Fraction(spin + idle_spin + idle, total);
+}
+
+RunReport MakeReport(Harness& harness) {
+  RunReport report;
+  report.elapsed = harness.engine().now();
+  hw::Machine& m = harness.machine();
+  report.user = m.TotalTimeIn(hw::SpanMode::kUser);
+  report.mgmt = m.TotalTimeIn(hw::SpanMode::kMgmt);
+  report.kernel = m.TotalTimeIn(hw::SpanMode::kKernel);
+  report.spin = m.TotalTimeIn(hw::SpanMode::kSpin);
+  report.idle_spin = m.TotalTimeIn(hw::SpanMode::kIdleSpin);
+  report.idle = m.TotalTimeIn(hw::SpanMode::kIdle);
+  report.counters = harness.kernel().counters();
+  return report;
+}
+
+std::string RunReport::ToString() const {
+  const sim::Duration total = user + mgmt + kernel + spin + idle_spin + idle;
+  common::Table table({"where the processors' time went", "time", "share"});
+  auto row = [&](const char* label, sim::Duration d) {
+    table.AddRow({label, sim::FormatDuration(d),
+                  common::Table::Num(100.0 * Fraction(d, total), 1) + "%"});
+  };
+  row("application computation", user);
+  row("thread management (user level)", mgmt);
+  row("kernel (traps, dispatch, upcalls)", kernel);
+  row("spinning on locks", spin);
+  row("user-level idle loops", idle_spin);
+  row("kernel idle", idle);
+
+  std::string out = table.ToString();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\nelapsed %s | kernel events: %lld upcalls (%lld events), "
+                "%lld timeslices, %lld preempt irqs, %lld page faults\n",
+                sim::FormatDuration(elapsed).c_str(),
+                static_cast<long long>(counters.upcalls),
+                static_cast<long long>(counters.upcall_events),
+                static_cast<long long>(counters.timeslices),
+                static_cast<long long>(counters.preempt_interrupts),
+                static_cast<long long>(counters.page_faults));
+  out += buf;
+  return out;
+}
+
+}  // namespace sa::rt

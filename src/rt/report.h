@@ -1,0 +1,38 @@
+// Run reports: processor-time breakdown and kernel/user-level activity for
+// a finished harness run, rendered as an ASCII table (examples) or consumed
+// programmatically (tests, benches).
+
+#ifndef SA_RT_REPORT_H_
+#define SA_RT_REPORT_H_
+
+#include <string>
+
+#include "src/rt/harness.h"
+
+namespace sa::rt {
+
+struct RunReport {
+  sim::Time elapsed = 0;
+  // Machine-wide time per processor mode (ns).
+  sim::Duration user = 0;
+  sim::Duration mgmt = 0;
+  sim::Duration kernel = 0;
+  sim::Duration spin = 0;       // lock spin-waiting
+  sim::Duration idle_spin = 0;  // user-level scheduler idle loops
+  sim::Duration idle = 0;       // kernel idle (no context at all)
+  kern::KernelCounters counters;
+
+  // Fraction of machine time spent running application code.
+  double UserUtilization() const;
+  // Fraction wasted (lock spin + idle spin + kernel idle).
+  double WastedFraction() const;
+
+  std::string ToString() const;
+};
+
+// Snapshot of `harness` (flushes processor accounting).
+RunReport MakeReport(Harness& harness);
+
+}  // namespace sa::rt
+
+#endif  // SA_RT_REPORT_H_

@@ -1,0 +1,95 @@
+// Abstract runtime: hosts workload threads on one of the modelled systems.
+
+#ifndef SA_RT_RUNTIME_H_
+#define SA_RT_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rt/workload.h"
+
+namespace sa::rt {
+
+// One workload thread: coroutine + trap cell + join bookkeeping.  Runtimes
+// attach their private per-thread state via `impl`.
+struct WorkThread {
+  WorkThread(int tid, WorkloadFn fn, std::string name)
+      : ctx(tid), fn(std::move(fn)), name(std::move(name)) {}
+
+  ThreadCtx ctx;
+  WorkloadFn fn;
+  std::string name;
+  sim::Program prog;
+  bool started = false;
+  bool finished = false;
+  std::vector<WorkThread*> joiners;
+  void* impl = nullptr;
+
+  int tid() const { return ctx.tid(); }
+
+  // Advances the coroutine one trap; returns the new pending op kind
+  // (kDone when the body ran to completion).
+  OpKind Step() {
+    if (!started) {
+      prog = fn(ctx);
+      started = true;
+    }
+    ctx.op = Op{};
+    prog.Resume();
+    if (prog.done()) {
+      ctx.op.kind = OpKind::kDone;
+    }
+    return ctx.op.kind;
+  }
+};
+
+class ThreadTable {
+ public:
+  WorkThread* Create(WorkloadFn fn, std::string name) {
+    const int tid = static_cast<int>(threads_.size());
+    threads_.push_back(std::make_unique<WorkThread>(tid, std::move(fn), std::move(name)));
+    return threads_.back().get();
+  }
+  WorkThread* Get(int tid) {
+    SA_CHECK(tid >= 0 && tid < static_cast<int>(threads_.size()));
+    return threads_[static_cast<size_t>(tid)].get();
+  }
+  size_t size() const { return threads_.size(); }
+  size_t finished() const { return finished_; }
+  void NoteFinished() { ++finished_; }
+  bool AllFinished() const { return finished_ == threads_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<WorkThread>> threads_;
+  size_t finished_ = 0;
+};
+
+// The runtime interface the harness and workloads program against.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Synchronization object factories (call before Start).
+  virtual int CreateLock(LockKind kind) = 0;
+  virtual int CreateCond() = 0;         // counting semantics (signal remembered)
+  virtual int CreateKernelEvent() = 0;  // forces kernel-level block/wakeup
+
+  // Creates a thread to start with the runtime; returns its tid.
+  virtual int Spawn(WorkloadFn fn, std::string name) = 0;
+
+  // Boots the runtime: initial threads become runnable.
+  virtual void Start() = 0;
+
+  // True once every thread (spawned or forked) has finished.
+  virtual bool AllDone() const = 0;
+
+  virtual size_t threads_created() const = 0;
+  virtual size_t threads_finished() const = 0;
+};
+
+}  // namespace sa::rt
+
+#endif  // SA_RT_RUNTIME_H_

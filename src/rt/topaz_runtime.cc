@@ -1,0 +1,280 @@
+#include "src/rt/topaz_runtime.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace sa::rt {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNone:
+      return "none";
+    case OpKind::kCompute:
+      return "compute";
+    case OpKind::kFork:
+      return "fork";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kAcquire:
+      return "acquire";
+    case OpKind::kRelease:
+      return "release";
+    case OpKind::kWait:
+      return "wait";
+    case OpKind::kSignal:
+      return "signal";
+    case OpKind::kIo:
+      return "io";
+    case OpKind::kPageFault:
+      return "page-fault";
+    case OpKind::kKernelWait:
+      return "kernel-wait";
+    case OpKind::kKernelSignal:
+      return "kernel-signal";
+    case OpKind::kYield:
+      return "yield";
+    case OpKind::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+TopazRuntime::TopazRuntime(kern::Kernel* kernel, std::string name, bool heavyweight,
+                           int priority)
+    : kernel_(kernel), name_(std::move(name)) {
+  as_ = kernel_->CreateAddressSpace(name_, kern::AsMode::kKernelThreads, priority);
+  as_->set_heavyweight(heavyweight);
+}
+
+TopazRuntime::~TopazRuntime() = default;
+
+int TopazRuntime::CreateLock(LockKind kind) {
+  locks_.push_back(std::make_unique<TzLock>());
+  locks_.back()->kind = kind;
+  return static_cast<int>(locks_.size()) - 1;
+}
+
+int TopazRuntime::CreateCond() {
+  sems_.push_back(std::make_unique<TzSem>());
+  return static_cast<int>(sems_.size()) - 1;
+}
+
+// With kernel threads, a "kernel event" is just a condition: everything
+// already goes through the kernel.
+int TopazRuntime::CreateKernelEvent() { return CreateCond(); }
+
+int TopazRuntime::Spawn(WorkloadFn fn, std::string thread_name) {
+  WorkThread* w = table_.Create(std::move(fn), std::move(thread_name));
+  kern::KThread* kt = kernel_->CreateThread(as_, this, w);
+  w->impl = kt;
+  if (started_) {
+    kernel_->StartThread(kt);
+  } else {
+    initial_.push_back(w);
+  }
+  return w->tid();
+}
+
+void TopazRuntime::Start() {
+  SA_CHECK(!started_);
+  started_ = true;
+  for (WorkThread* w : initial_) {
+    kernel_->StartThread(KtOf(w));
+  }
+  initial_.clear();
+}
+
+void TopazRuntime::OnPreempted(kern::KThread* kt, hw::Interrupt irq) {
+  // Kernel-thread semantics: the kernel saves the context in the thread's
+  // control block and will continue it, unchanged, at the next dispatch.
+  if (irq.on_complete != nullptr) {
+    kt->saved_span() = hw::SavedSpan::FromInterrupt(std::move(irq));
+  }
+}
+
+void TopazRuntime::RunOn(kern::KThread* kt) {
+  WorkThread* w = WorkOf(kt);
+  if (kt->saved_span().valid()) {
+    // Continue the span that a preemption interrupted.
+    hw::SavedSpan saved = std::move(kt->saved_span());
+    kt->saved_span().Clear();
+    kt->processor()->BeginSpan(saved.remaining, saved.mode, /*preemptible=*/true,
+                               saved.critical_section, std::move(saved.on_complete));
+    return;
+  }
+  // First run, or return from a kernel block (the awaited op completed).
+  StepAndInterpret(w);
+}
+
+void TopazRuntime::StepAndInterpret(WorkThread* w) {
+  w->Step();
+  Interpret(w);
+}
+
+void TopazRuntime::Interpret(WorkThread* w) {
+  kern::KThread* kt = KtOf(w);
+  hw::Processor* proc = kt->processor();
+  const Op& op = w->ctx.op;
+
+  switch (op.kind) {
+    case OpKind::kCompute: {
+      proc->BeginSpan(op.duration, hw::SpanMode::kUser, /*preemptible=*/true,
+                      /*critical_section=*/false, [this, w] { StepAndInterpret(w); });
+      break;
+    }
+
+    case OpKind::kFork: {
+      WorkThread* child = table_.Create(op.fork_fn, op.fork_name);
+      kern::KThread* child_kt = kernel_->CreateThread(as_, this, child);
+      child->impl = child_kt;
+      kernel_->SysFork(kt, child_kt, [this, w, child] {
+        w->ctx.last_forked_tid = child->tid();
+        StepAndInterpret(w);
+      });
+      break;
+    }
+
+    case OpKind::kJoin: {
+      WorkThread* target = table_.Get(op.target_tid);
+      kernel_->SysBlockWait(
+          KtOf(w),
+          [w, target] {
+            if (target->finished) {
+              return false;  // already dead: don't sleep
+            }
+            target->joiners.push_back(w);
+            return true;
+          },
+          [this, w] { StepAndInterpret(w); });
+      break;
+    }
+
+    case OpKind::kAcquire:
+      DoAcquire(w, locks_[static_cast<size_t>(op.sync_id)].get());
+      break;
+    case OpKind::kRelease:
+      DoRelease(w, locks_[static_cast<size_t>(op.sync_id)].get());
+      break;
+    case OpKind::kWait:
+    case OpKind::kKernelWait:
+      DoWait(w, sems_[static_cast<size_t>(op.sync_id)].get());
+      break;
+    case OpKind::kSignal:
+    case OpKind::kKernelSignal:
+      DoSignal(w, sems_[static_cast<size_t>(op.sync_id)].get());
+      break;
+
+    case OpKind::kIo:
+      kernel_->SysBlockIo(kt, op.duration);
+      break;
+
+    case OpKind::kPageFault:
+      kernel_->SysPageFault(kt, op.page, op.duration,
+                            [this, w] { StepAndInterpret(w); });
+      break;
+
+    case OpKind::kYield:
+      kernel_->SysYield(kt);
+      break;
+
+    case OpKind::kDone:
+      FinishThread(w);
+      break;
+
+    case OpKind::kNone:
+      SA_CHECK_MSG(false, "workload suspended without an operation");
+      break;
+  }
+}
+
+void TopazRuntime::DoAcquire(WorkThread* w, TzLock* lock) {
+  kern::KThread* kt = KtOf(w);
+  // User-level test-and-set; kernel involved only under contention.
+  kt->processor()->BeginSpan(
+      kernel_->costs().kt_lock_tas, hw::SpanMode::kUser, /*preemptible=*/true,
+      /*critical_section=*/false, [this, w, lock, kt] {
+        if (lock->owner == nullptr) {
+          lock->owner = w;
+          StepAndInterpret(w);
+          return;
+        }
+        kernel_->SysBlockWait(
+            kt,
+            [w, lock] {
+              if (lock->owner == nullptr) {
+                lock->owner = w;
+                return false;
+              }
+              lock->waiters.push_back(w);
+              return true;
+            },
+            [this, w] { StepAndInterpret(w); });
+      });
+}
+
+void TopazRuntime::DoRelease(WorkThread* w, TzLock* lock) {
+  kern::KThread* kt = KtOf(w);
+  kt->processor()->BeginSpan(
+      kernel_->costs().kt_lock_tas, hw::SpanMode::kUser, /*preemptible=*/true,
+      /*critical_section=*/false, [this, w, lock, kt] {
+        SA_CHECK_MSG(lock->owner == w, "release by non-owner");
+        if (lock->waiters.empty()) {
+          lock->owner = nullptr;
+          StepAndInterpret(w);
+          return;
+        }
+        WorkThread* next = lock->waiters.front();
+        lock->waiters.pop_front();
+        lock->owner = next;  // direct handoff
+        kernel_->SysWakeup(kt, KtOf(next), [this, w] { StepAndInterpret(w); });
+      });
+}
+
+void TopazRuntime::DoWait(WorkThread* w, TzSem* sem) {
+  kernel_->SysBlockWait(
+      KtOf(w),
+      [w, sem] {
+        if (sem->pending > 0) {
+          --sem->pending;
+          return false;
+        }
+        sem->waiters.push_back(w);
+        return true;
+      },
+      [this, w] { StepAndInterpret(w); });
+}
+
+void TopazRuntime::DoSignal(WorkThread* w, TzSem* sem) {
+  kern::KThread* kt = KtOf(w);
+  if (!sem->waiters.empty()) {
+    WorkThread* next = sem->waiters.front();
+    sem->waiters.pop_front();
+    kernel_->SysWakeup(kt, KtOf(next), [this, w] { StepAndInterpret(w); });
+    return;
+  }
+  // No waiter: remember the signal; still a kernel operation.
+  kernel_->ChargeKernel(kt, kernel_->costs().kernel_trap, [this, w, sem] {
+    ++sem->pending;
+    StepAndInterpret(w);
+  });
+}
+
+void TopazRuntime::FinishThread(WorkThread* w) {
+  w->finished = true;
+  table_.NoteFinished();
+  WakeJoinersThenExit(w, 0);
+}
+
+void TopazRuntime::WakeJoinersThenExit(WorkThread* w, size_t index) {
+  if (index >= w->joiners.size()) {
+    w->joiners.clear();
+    kernel_->SysExit(KtOf(w));
+    return;
+  }
+  WorkThread* joiner = w->joiners[index];
+  kernel_->SysWakeup(KtOf(w), KtOf(joiner),
+                     [this, w, index] { WakeJoinersThenExit(w, index + 1); });
+}
+
+}  // namespace sa::rt

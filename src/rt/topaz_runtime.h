@@ -1,0 +1,81 @@
+// Workloads on kernel threads used directly (the paper's "Topaz threads"
+// baseline) — and, with heavyweight=true, on Ultrix-style processes.
+//
+// Every thread operation involves the kernel: fork and exit are syscalls,
+// contended locks block in the kernel, signal/wait are kernel wakeup/block
+// pairs.  Uncontended application locks are acquired with a user-level
+// test-and-set, as Topaz did (Section 5.3).
+
+#ifndef SA_RT_TOPAZ_RUNTIME_H_
+#define SA_RT_TOPAZ_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/rt/runtime.h"
+
+namespace sa::rt {
+
+class TopazRuntime : public Runtime, private kern::KThreadHost {
+ public:
+  // Creates an address space named `name` in `kernel`.  heavyweight selects
+  // Ultrix-process costs.  priority > 0 models daemon/system spaces.
+  TopazRuntime(kern::Kernel* kernel, std::string name, bool heavyweight = false,
+               int priority = 0);
+  ~TopazRuntime() override;
+
+  const std::string& name() const override { return name_; }
+  int CreateLock(LockKind kind) override;
+  int CreateCond() override;
+  int CreateKernelEvent() override;
+  int Spawn(WorkloadFn fn, std::string thread_name) override;
+  void Start() override;
+  bool AllDone() const override { return table_.AllFinished(); }
+  size_t threads_created() const override { return table_.size(); }
+  size_t threads_finished() const override { return table_.finished(); }
+
+  kern::AddressSpace* address_space() { return as_; }
+
+ private:
+  struct TzLock {
+    LockKind kind;
+    WorkThread* owner = nullptr;
+    std::deque<WorkThread*> waiters;
+  };
+  struct TzSem {  // condition with memory (counting)
+    int pending = 0;
+    std::deque<WorkThread*> waiters;
+  };
+
+  // kern::KThreadHost:
+  void RunOn(kern::KThread* kt) override;
+  void OnPreempted(kern::KThread* kt, hw::Interrupt irq) override;
+
+  kern::KThread* KtOf(WorkThread* w) { return static_cast<kern::KThread*>(w->impl); }
+  WorkThread* WorkOf(kern::KThread* kt) { return static_cast<WorkThread*>(kt->host_data()); }
+
+  void StepAndInterpret(WorkThread* w);
+  void Interpret(WorkThread* w);
+  void DoAcquire(WorkThread* w, TzLock* lock);
+  void DoRelease(WorkThread* w, TzLock* lock);
+  void DoWait(WorkThread* w, TzSem* sem);
+  void DoSignal(WorkThread* w, TzSem* sem);
+  void FinishThread(WorkThread* w);
+  void WakeJoinersThenExit(WorkThread* w, size_t index);
+
+  kern::Kernel* kernel_;
+  std::string name_;
+  kern::AddressSpace* as_;
+  ThreadTable table_;
+  std::vector<std::unique_ptr<TzLock>> locks_;
+  std::vector<std::unique_ptr<TzSem>> sems_;
+  std::vector<WorkThread*> initial_;
+  bool started_ = false;
+};
+
+}  // namespace sa::rt
+
+#endif  // SA_RT_TOPAZ_RUNTIME_H_

@@ -1,0 +1,104 @@
+#include "src/sim/engine.h"
+
+#include <cstdio>
+
+namespace sa::sim {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const char* sign = d < 0 ? "-" : "";
+  const int64_t v = d < 0 ? -d : d;
+  if (v >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, static_cast<double>(v) / kSecond);
+  } else if (v >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, static_cast<double>(v) / kMillisecond);
+  } else if (v >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fus", sign, static_cast<double>(v) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldns", sign, static_cast<long>(v));
+  }
+  return buf;
+}
+
+bool EventHandle::pending() const {
+  return state_ != nullptr && !state_->cancelled && !state_->fired;
+}
+
+bool EventHandle::Cancel() {
+  if (!pending()) {
+    return false;
+  }
+  state_->cancelled = true;
+  return true;
+}
+
+EventHandle Engine::ScheduleAt(Time at, std::function<void()> fn) {
+  SA_CHECK_MSG(at >= now_, "event scheduled in the past");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+bool Engine::PopNext(Event* out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is moved out via const_cast,
+    // which is safe because we pop immediately after.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev = std::move(top);
+    queue_.pop();
+    if (ev.state->cancelled) {
+      continue;
+    }
+    *out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+bool Engine::Step() {
+  Event ev;
+  if (!PopNext(&ev)) {
+    return false;
+  }
+  SA_CHECK(ev.at >= now_);
+  now_ = ev.at;
+  ev.state->fired = true;
+  ++events_fired_;
+  ev.fn();
+  return true;
+}
+
+void Engine::Run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+void Engine::RunUntil(Time until) {
+  for (;;) {
+    // Peek: find next live event without disturbing order.
+    Event ev;
+    if (!PopNext(&ev)) {
+      if (now_ < until) {
+        now_ = until;
+      }
+      return;
+    }
+    if (ev.at > until) {
+      // Push back and stop.
+      queue_.push(std::move(ev));
+      now_ = until;
+      return;
+    }
+    now_ = ev.at;
+    ev.state->fired = true;
+    ++events_fired_;
+    ev.fn();
+  }
+}
+
+size_t Engine::pending_events() const { return queue_.size(); }
+
+}  // namespace sa::sim

@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// A single Engine owns the virtual clock and a min-heap of scheduled events.
+// Events scheduled for the same instant fire in scheduling order (stable FIFO
+// by sequence number), which keeps runs deterministic.  Cancellation is lazy:
+// a cancelled heap entry is discarded when it reaches the top.
+
+#ifndef SA_SIM_ENGINE_H_
+#define SA_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/sim/time.h"
+
+namespace sa::sim {
+
+class Engine;
+
+// Handle to a scheduled event; allows cancellation.  Default-constructed
+// handles are inert.  Handles do not keep callbacks alive after firing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool pending() const;
+
+  // Cancels the event if still pending.  Returns true if it was pending.
+  bool Cancel();
+
+  void Reset() { state_.reset(); }
+
+ private:
+  friend class Engine;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `at` (>= now).
+  EventHandle ScheduleAt(Time at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` (>= 0) after now.
+  EventHandle ScheduleAfter(Duration delay, std::function<void()> fn) {
+    SA_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs the next pending event, if any.  Returns false when the queue is
+  // drained (ignoring cancelled events).
+  bool Step();
+
+  // Runs until the queue drains or `max_events` fire.
+  void Run(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with time <= `until`; clock ends at min(until, last event).
+  void RunUntil(Time until);
+
+  uint64_t events_fired() const { return events_fired_; }
+  size_t pending_events() const;
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled event; returns false if none.
+  bool PopNext(Event* out);
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_ENGINE_H_

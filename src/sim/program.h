@@ -1,0 +1,111 @@
+// Coroutine type for simulated thread bodies.
+//
+// A workload thread body is a C++20 coroutine returning sim::Program.  The
+// body runs instantaneously in host time until it awaits an operation (a
+// "trap"); the awaitable records the request somewhere the hosting runtime
+// can see and suspends.  The runtime interprets the request, charges virtual
+// time, and resumes the coroutine when the operation completes.
+//
+//   sim::Program Body(rt::ThreadCtx& t) {
+//     co_await t.Compute(sim::Usec(100));
+//     co_await t.Acquire(lock);
+//     ...
+//   }
+//
+// Program owns the coroutine frame; destroying a Program destroys a suspended
+// frame.  Programs are move-only.
+
+#ifndef SA_SIM_PROGRAM_H_
+#define SA_SIM_PROGRAM_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace sa::sim {
+
+class Program {
+ public:
+  struct promise_type {
+    Program get_return_object() {
+      return Program(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Program() = default;
+  explicit Program(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  Program(Program&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Program& operator=(Program&& other) noexcept {
+    if (this != &other) {
+      DestroyFrame();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  ~Program() { DestroyFrame(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ != nullptr && handle_.done(); }
+
+  // Runs the body until its next suspension point (trap) or completion.
+  void Resume() {
+    SA_CHECK(valid());
+    SA_CHECK_MSG(!handle_.done(), "resuming a finished program");
+    handle_.resume();
+  }
+
+ private:
+  void DestroyFrame() {
+    if (handle_ != nullptr) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// The trivial awaitable used for traps: always suspends, resumes with no
+// value.  The side channel (the thread's pending-op record) is written by the
+// function that returns this awaitable, before suspension.
+struct TrapAwait {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+// Advances a nested Program one trap at a time from within an enclosing
+// thread body.  The nested program must use the *same* thread context, so
+// its operations surface through the enclosing thread exactly as the outer
+// body's would:
+//
+//   sim::Program sub = SomeTask(t);          // t: the enclosing ThreadCtx
+//   while (!sub.done()) {
+//     co_await sim::NestedStep{&sub};        // one trap of `sub` per await
+//   }
+//
+// This is how alternative concurrency models (e.g. work crews) run foreign
+// task bodies inside their worker threads.
+struct NestedStep {
+  Program* sub;
+  bool await_ready() const {
+    sub->Resume();
+    return sub->done();  // finished without trapping: nothing to wait for
+  }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_PROGRAM_H_

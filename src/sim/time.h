@@ -1,0 +1,39 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is kept in signed 64-bit nanoseconds.  The paper's
+// latencies are microseconds on a 1991 CVAX Firefly; nanosecond resolution
+// leaves headroom for sub-microsecond cost components without floating point.
+
+#ifndef SA_SIM_TIME_H_
+#define SA_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sa::sim {
+
+// A point in virtual time (ns since boot).
+using Time = int64_t;
+// A span of virtual time (ns).
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration Nsec(int64_t n) { return n; }
+constexpr Duration Usec(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Msec(int64_t n) { return n * kMillisecond; }
+constexpr Duration Sec(int64_t n) { return n * kSecond; }
+
+constexpr double ToUsec(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double ToMsec(Duration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSec(Duration d) { return static_cast<double>(d) / kSecond; }
+
+// Human-readable rendering with an auto-selected unit ("17us", "2.4ms").
+std::string FormatDuration(Duration d);
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_TIME_H_

@@ -1,0 +1,32 @@
+// FastThreads configuration.
+
+#ifndef SA_ULT_CONFIG_H_
+#define SA_ULT_CONFIG_H_
+
+#include "src/sim/time.h"
+
+namespace sa::ult {
+
+struct UltConfig {
+  // Virtual processors: the maximum parallelism the package will ask for.
+  // The paper's convention is one virtual processor per physical processor
+  // in use by the application.
+  int max_vcpus = 1;
+
+  // Section 4.3.  false (default) models the paper's zero-overhead scheme
+  // (copied critical sections found by PC lookup): no cost unless a
+  // preemption actually happens.  true models the rejected alternative (an
+  // explicit set/clear/test flag around every internal critical section),
+  // which adds cs_flag_overhead at each of the package's four flagged sites
+  // (free-list get/put, ready-list push/pop) — reproducing the 49/48 us
+  // ablation.
+  bool flag_based_critical_sections = false;
+
+  // Section 4.2: an idle virtual processor spins for idle_hysteresis before
+  // notifying the kernel it is idle (scheduler-activation backend only).
+  bool idle_hysteresis = true;
+};
+
+}  // namespace sa::ult
+
+#endif  // SA_ULT_CONFIG_H_

@@ -1,0 +1,672 @@
+#include "src/ult/fast_threads.h"
+
+#include <climits>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace sa::ult {
+
+namespace {
+constexpr const char* kLog = "ult";
+}  // namespace
+
+FastThreads::FastThreads(kern::Kernel* kernel, kern::AddressSpace* as, UltConfig config,
+                         VcpuBackend* backend)
+    : kernel_(kernel), as_(as), config_(config), backend_(backend) {
+  SA_CHECK(config_.max_vcpus >= 1);
+  for (int i = 0; i < config_.max_vcpus; ++i) {
+    auto v = std::make_unique<Vcpu>();
+    v->index = i;
+    vcpus_.push_back(std::move(v));
+  }
+  backend_->Attach(this);
+}
+
+int FastThreads::CreateLock(rt::LockKind kind) {
+  locks_.push_back(std::make_unique<UltLock>());
+  locks_.back()->kind = kind;
+  return static_cast<int>(locks_.size()) - 1;
+}
+
+int FastThreads::CreateCond() {
+  sems_.push_back(std::make_unique<UltSem>());
+  return static_cast<int>(sems_.size()) - 1;
+}
+
+Tcb* FastThreads::AllocTcb(Vcpu* v, rt::WorkThread* w) {
+  Tcb* t;
+  if (v != nullptr && !v->free_tcbs.empty()) {
+    t = v->free_tcbs.back();
+    v->free_tcbs.pop_back();
+  } else {
+    tcbs_.push_back(std::make_unique<Tcb>(next_tcb_id_++));
+    t = tcbs_.back().get();
+  }
+  SA_CHECK(t->state == Tcb::State::kFree);
+  t->work = w;
+  t->vcpu = nullptr;
+  t->cs_depth = 0;
+  t->cs_recovery = false;
+  t->waiting_lock = nullptr;
+  t->actively_spinning = false;
+  t->resume_check = false;
+  t->saved.Clear();
+  w->impl = t;
+  return t;
+}
+
+void FastThreads::FreeTcb(Vcpu* v, Tcb* t) {
+  t->state = Tcb::State::kFree;
+  t->work = nullptr;
+  v->free_tcbs.push_back(t);
+}
+
+Tcb* FastThreads::SpawnThread(rt::WorkThread* w) {
+  Tcb* t = AllocTcb(nullptr, w);
+  t->state = Tcb::State::kReady;
+  ++runnable_;
+  vcpus_[0]->ready.PushFront(t);
+  return t;
+}
+
+void FastThreads::ChargeMgmt(Vcpu* v, sim::Duration d, std::function<void()> fn) {
+  SA_CHECK(v->bound);
+  // Internal critical sections are modelled as non-preemptible management
+  // spans (see header comment); interrupts latch and fire at the next
+  // preemptible boundary.
+  v->proc()->BeginSpan(d, hw::SpanMode::kMgmt, /*preemptible=*/false,
+                       /*critical_section=*/false, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching.
+// ---------------------------------------------------------------------------
+
+Tcb* FastThreads::PopLocal(Vcpu* v) {
+  if (!has_priorities_) {
+    return v->ready.PopFront();  // plain LIFO (Section 4.2 default policy)
+  }
+  // Priority-aware: front-most thread of the highest priority present
+  // (LIFO within a priority level).
+  Tcb* best = nullptr;
+  for (Tcb* t : v->ready) {
+    if (best == nullptr || t->priority > best->priority) {
+      best = t;
+    }
+  }
+  if (best != nullptr) {
+    v->ready.Remove(best);
+  }
+  return best;
+}
+
+int FastThreads::HighestReadyPriority() const {
+  int best = INT_MIN;
+  for (const auto& v : vcpus_) {
+    for (const Tcb* t : v->ready) {
+      best = std::max(best, t->priority);
+    }
+  }
+  return best;
+}
+
+Vcpu* FastThreads::LowestPriorityRunningVcpu(const Vcpu* exclude) const {
+  Vcpu* lowest = nullptr;
+  for (const auto& v : vcpus_) {
+    if (v.get() == exclude || !v->bound || v->current == nullptr ||
+        v->current->state != Tcb::State::kRunning) {
+      continue;
+    }
+    if (lowest == nullptr || v->current->priority < lowest->current->priority) {
+      lowest = v.get();
+    }
+  }
+  return lowest;
+}
+
+Tcb* FastThreads::Steal(Vcpu* v) {
+  if (has_priorities_) {
+    Vcpu* best_victim = nullptr;
+    Tcb* best = nullptr;
+    for (int k = 1; k < num_vcpus(); ++k) {
+      Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+      for (Tcb* t : victim->ready) {
+        if (best == nullptr || t->priority > best->priority) {
+          best = t;
+          best_victim = victim;
+        }
+      }
+    }
+    if (best != nullptr) {
+      best_victim->ready.Remove(best);
+      ++counters_.steals;
+    }
+    return best;
+  }
+  for (int k = 1; k < num_vcpus(); ++k) {
+    Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+    Tcb* t = victim->ready.PopBack();  // oldest first from a remote list
+    if (t != nullptr) {
+      ++counters_.steals;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void FastThreads::RunVcpu(Vcpu* v) {
+  if (v->current != nullptr) {
+    Tcb* t = v->current;
+    if (v->kt->saved_span().valid()) {
+      // Continue the interrupted span where it left off.
+      hw::SavedSpan saved = std::move(v->kt->saved_span());
+      v->kt->saved_span().Clear();
+      v->proc()->BeginSpan(saved.remaining, saved.mode, /*preemptible=*/true,
+                           saved.critical_section, std::move(saved.on_complete));
+      return;
+    }
+    if (t->state == Tcb::State::kBlockedKernel) {
+      // The kernel operation completed and the kernel resumed this context.
+      ResumeAfterKernel(v, t);
+      return;
+    }
+    if (t->state == Tcb::State::kSpinning) {
+      TrySpinAcquire(v, t);
+      return;
+    }
+    SA_CHECK_MSG(false, "vcpu resumed with a thread in an unexpected state");
+  }
+  Dispatch(v);
+}
+
+void FastThreads::Dispatch(Vcpu* v) {
+  SA_CHECK_MSG(v->bound, "dispatch on an unbound virtual processor");
+  SA_CHECK(v->current == nullptr);
+  if (has_priorities_) {
+    DispatchByPriority(v);
+    return;
+  }
+  Tcb* next = PopLocal(v);
+  if (next == nullptr && num_vcpus() > 1) {
+    next = Steal(v);
+    if (next != nullptr) {
+      // Charge the scan separately, then fall through to the dispatch charge.
+      Tcb* stolen = next;
+      ChargeMgmt(v, kernel_->costs().ult_steal_scan, [this, v, stolen] {
+        const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                                     (stolen->resume_check
+                                          ? backend_->ResumeCheckOverhead()
+                                          : 0);
+        ChargeMgmt(v, charge, [this, v, stolen] {
+          ++counters_.dispatches;
+          stolen->resume_check = false;
+          ContinueThread(v, stolen);
+        });
+      });
+      return;
+    }
+  }
+  if (next == nullptr) {
+    ++counters_.idles;
+    v->idle_spinning = true;
+    backend_->OnIdle(v);
+    return;
+  }
+  const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                               (next->resume_check ? backend_->ResumeCheckOverhead() : 0);
+  ChargeMgmt(v, charge, [this, v, next] {
+    ++counters_.dispatches;
+    next->resume_check = false;
+    ContinueThread(v, next);
+  });
+}
+
+// Priority policy: the highest-priority ready thread anywhere must run
+// before any lower-priority one (ties prefer the local list).
+void FastThreads::DispatchByPriority(Vcpu* v) {
+  Tcb* best = nullptr;
+  Vcpu* owner = nullptr;
+  for (Tcb* t : v->ready) {
+    if (best == nullptr || t->priority > best->priority) {
+      best = t;
+      owner = v;
+    }
+  }
+  for (int k = 1; k < num_vcpus(); ++k) {
+    Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+    for (Tcb* t : victim->ready) {
+      if (best == nullptr || t->priority > best->priority) {
+        best = t;
+        owner = victim;
+      }
+    }
+  }
+  if (best == nullptr) {
+    ++counters_.idles;
+    v->idle_spinning = true;
+    backend_->OnIdle(v);
+    return;
+  }
+  owner->ready.Remove(best);
+  sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                         (best->resume_check ? backend_->ResumeCheckOverhead() : 0);
+  if (owner != v) {
+    ++counters_.steals;
+    charge += kernel_->costs().ult_steal_scan;
+  }
+  ChargeMgmt(v, charge, [this, v, best] {
+    ++counters_.dispatches;
+    best->resume_check = false;
+    ContinueThread(v, best);
+  });
+}
+
+void FastThreads::ContinueThread(Vcpu* v, Tcb* t) {
+  SA_CHECK(v->current == nullptr);
+  SA_CHECK(v->bound);
+  t->vcpu = v;
+  v->current = t;
+  backend_->OnThreadLoaded(v, t);
+  if (t->saved.valid()) {
+    t->state = Tcb::State::kRunning;
+    hw::SavedSpan saved = std::move(t->saved);
+    t->saved.Clear();
+    v->proc()->BeginSpan(saved.remaining, saved.mode, /*preemptible=*/true,
+                         saved.critical_section, std::move(saved.on_complete));
+    return;
+  }
+  if (t->waiting_lock != nullptr) {
+    TrySpinAcquire(v, t);
+    return;
+  }
+  t->state = Tcb::State::kRunning;
+  StepAndInterpret(t);
+}
+
+void FastThreads::EnqueueReady(Vcpu* from, Tcb* t, bool front) {
+  SA_CHECK(t->state != Tcb::State::kReady && t->state != Tcb::State::kRunning);
+  t->state = Tcb::State::kReady;
+  t->vcpu = nullptr;
+  // Wake an idle virtual processor if one exists (it gets the thread for
+  // immediate dispatch); otherwise enqueue locally (LIFO, cache locality).
+  for (auto& w : vcpus_) {
+    // span_open() distinguishes a truly idle-spinning processor from one in
+    // transition (mid-downcall or being preempted).
+    if (w->bound && w->idle_spinning && w->proc()->span_open()) {
+      w->idle_spinning = false;
+      backend_->OnIdleWake(w.get());
+      w->ready.PushFront(t);
+      w->proc()->EndOpenSpan();
+      Dispatch(w.get());
+      return;
+    }
+  }
+  Vcpu* target = (from != nullptr) ? from : vcpus_[0].get();
+  if (front) {
+    target->ready.PushFront(t);
+  } else {
+    target->ready.PushBack(t);
+  }
+}
+
+void FastThreads::StepAndInterpret(Tcb* t) {
+  if (t->cs_recovery && t->cs_depth == 0) {
+    FinishRecovery(t);
+    return;
+  }
+  t->work->Step();
+  Interpret(t);
+}
+
+void FastThreads::ResumeAfterKernel(Vcpu* v, Tcb* t) {
+  SA_CHECK(t->state == Tcb::State::kBlockedKernel);
+  t->state = Tcb::State::kRunning;
+  ++runnable_;
+  StepAndInterpret(t);
+}
+
+// ---------------------------------------------------------------------------
+// Operation interpretation.
+// ---------------------------------------------------------------------------
+
+void FastThreads::Interpret(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  SA_CHECK(v != nullptr);
+  const rt::Op& op = t->work->ctx.op;
+
+  switch (op.kind) {
+    case rt::OpKind::kCompute:
+      v->proc()->BeginSpan(op.duration, hw::SpanMode::kUser, /*preemptible=*/true,
+                           /*critical_section=*/t->cs_depth > 0,
+                           [this, t] { StepAndInterpret(t); });
+      break;
+    case rt::OpKind::kFork:
+      DoFork(t);
+      break;
+    case rt::OpKind::kJoin:
+      DoJoin(t);
+      break;
+    case rt::OpKind::kAcquire:
+      DoAcquire(t);
+      break;
+    case rt::OpKind::kRelease:
+      DoRelease(t);
+      break;
+    case rt::OpKind::kWait:
+      DoWait(t);
+      break;
+    case rt::OpKind::kSignal:
+      DoSignal(t);
+      break;
+    case rt::OpKind::kIo:
+      --runnable_;
+      t->state = Tcb::State::kBlockedKernel;
+      backend_->BlockIo(v, t, op.duration);
+      break;
+    case rt::OpKind::kPageFault: {
+      if (as_->vm().IsResident(op.page)) {
+        // Minor fault: a kernel trap on the backing context, then continue.
+        kernel_->ChargeKernel(v->kt, kernel_->costs().kernel_trap,
+                              [this, t] { StepAndInterpret(t); });
+        break;
+      }
+      --runnable_;
+      t->state = Tcb::State::kBlockedKernel;
+      backend_->PageFault(v, t, op.page, op.duration);
+      break;
+    }
+    case rt::OpKind::kKernelWait:
+      backend_->KernelWait(v, t, op.sync_id);
+      break;
+    case rt::OpKind::kKernelSignal:
+      backend_->KernelSignal(v, t, op.sync_id);
+      break;
+    case rt::OpKind::kYield:
+      DoYield(t);
+      break;
+    case rt::OpKind::kDone:
+      DoDone(t);
+      break;
+    case rt::OpKind::kNone:
+      SA_CHECK_MSG(false, "workload suspended without an operation");
+      break;
+  }
+}
+
+void FastThreads::DoFork(Tcb* parent) {
+  Vcpu* v = parent->vcpu;
+  rt::WorkThread* child_work =
+      table_.Create(parent->work->ctx.op.fork_fn, parent->work->ctx.op.fork_name);
+  const sim::Duration charge =
+      kernel_->costs().ult_fork_prep + backend_->ForkOverhead() + FlagCs(2);
+  const int child_priority = parent->work->ctx.op.fork_priority;
+  ChargeMgmt(v, charge, [this, parent, child_work, child_priority] {
+    Vcpu* v2 = parent->vcpu;
+    Tcb* child = AllocTcb(v2, child_work);
+    child->priority = child_priority;
+    if (child_priority != 0) {
+      has_priorities_ = true;
+    }
+    ++runnable_;
+    ++counters_.forks;
+    EnqueueReady(v2, child);
+    parent->work->ctx.last_forked_tid = child_work->tid();
+    backend_->NotifyParallelism(v2, [this, parent] { StepAndInterpret(parent); });
+  });
+}
+
+void FastThreads::DoJoin(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  rt::WorkThread* target = table_.Get(t->work->ctx.op.target_tid);
+  if (target->finished) {
+    ChargeMgmt(v, kernel_->costs().procedure_call, [this, t] { StepAndInterpret(t); });
+    return;
+  }
+  const sim::Duration charge = kernel_->costs().ult_wait + backend_->WaitOverhead();
+  ChargeMgmt(v, charge, [this, t, target] {
+    Vcpu* v2 = t->vcpu;
+    if (target->finished) {  // finished while we were blocking
+      StepAndInterpret(t);
+      return;
+    }
+    target->joiners.push_back(t->work);
+    --runnable_;
+    t->state = Tcb::State::kBlockedSync;
+    v2->current = nullptr;
+    backend_->OnThreadUnloaded(v2);
+    Dispatch(v2);
+  });
+}
+
+void FastThreads::DoAcquire(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  UltLock* lock = locks_[static_cast<size_t>(t->work->ctx.op.sync_id)].get();
+  ChargeMgmt(v, kernel_->costs().ult_lock_acquire, [this, t, lock] {
+    Vcpu* v2 = t->vcpu;
+    if (lock->kind == rt::LockKind::kSpin) {
+      if (lock->owner == nullptr) {
+        lock->owner = t;
+        ++t->cs_depth;
+        ++counters_.spin_acquires;
+        StepAndInterpret(t);
+        return;
+      }
+      ++counters_.spin_contended;
+      t->waiting_lock = lock;
+      lock->spinners.push_back(t);
+      t->state = Tcb::State::kSpinning;
+      t->actively_spinning = true;
+      v2->proc()->BeginOpenSpan(hw::SpanMode::kSpin);
+      return;
+    }
+    // Mutex: block at user level under contention.
+    if (lock->owner == nullptr) {
+      lock->owner = t;
+      StepAndInterpret(t);
+      return;
+    }
+    lock->waiters.PushBack(t);
+    --runnable_;
+    t->state = Tcb::State::kBlockedSync;
+    v2->current = nullptr;
+    backend_->OnThreadUnloaded(v2);
+    Dispatch(v2);
+  });
+}
+
+void FastThreads::TrySpinAcquire(Vcpu* v, Tcb* t) {
+  UltLock* lock = t->waiting_lock;
+  SA_CHECK(lock != nullptr);
+  if (lock->owner == nullptr) {
+    for (auto it = lock->spinners.begin(); it != lock->spinners.end(); ++it) {
+      if (*it == t) {
+        lock->spinners.erase(it);
+        break;
+      }
+    }
+    lock->owner = t;
+    t->waiting_lock = nullptr;
+    t->actively_spinning = false;
+    ++t->cs_depth;
+    ++counters_.spin_acquires;
+    t->state = Tcb::State::kRunning;
+    ChargeMgmt(v, kernel_->costs().ult_lock_acquire, [this, t] { StepAndInterpret(t); });
+    return;
+  }
+  t->state = Tcb::State::kSpinning;
+  t->actively_spinning = true;
+  v->proc()->BeginOpenSpan(hw::SpanMode::kSpin);
+}
+
+void FastThreads::GrantSpinLock(UltLock* lock) {
+  if (lock->owner != nullptr) {
+    return;
+  }
+  for (auto it = lock->spinners.begin(); it != lock->spinners.end(); ++it) {
+    Tcb* winner = *it;
+    if (!winner->actively_spinning) {
+      continue;  // lost its processor; it will re-check when resumed
+    }
+    lock->spinners.erase(it);
+    lock->owner = winner;
+    winner->waiting_lock = nullptr;
+    winner->actively_spinning = false;
+    ++winner->cs_depth;
+    ++counters_.spin_acquires;
+    Vcpu* wv = winner->vcpu;
+    wv->proc()->EndOpenSpan();
+    ChargeMgmt(wv, kernel_->costs().ult_lock_acquire, [this, winner] {
+      winner->state = Tcb::State::kRunning;
+      StepAndInterpret(winner);
+    });
+    return;
+  }
+}
+
+void FastThreads::DoRelease(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  UltLock* lock = locks_[static_cast<size_t>(t->work->ctx.op.sync_id)].get();
+  ChargeMgmt(v, kernel_->costs().ult_lock_release, [this, t, lock] {
+    SA_CHECK_MSG(lock->owner == t, "release by non-owner");
+    lock->owner = nullptr;
+    if (lock->kind == rt::LockKind::kSpin) {
+      --t->cs_depth;
+      SA_CHECK(t->cs_depth >= 0);
+      GrantSpinLock(lock);
+      StepAndInterpret(t);
+      return;
+    }
+    Tcb* next = lock->waiters.PopFront();
+    if (next != nullptr) {
+      lock->owner = next;
+      ++runnable_;
+      next->resume_check = true;
+      EnqueueReady(t->vcpu, next);
+    }
+    StepAndInterpret(t);
+  });
+}
+
+void FastThreads::DoWait(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  UltSem* sem = sems_[static_cast<size_t>(t->work->ctx.op.sync_id)].get();
+  const sim::Duration charge = kernel_->costs().ult_wait + backend_->WaitOverhead();
+  ++counters_.waits;
+  ChargeMgmt(v, charge, [this, t, sem] {
+    if (sem->pending > 0) {
+      --sem->pending;
+      StepAndInterpret(t);
+      return;
+    }
+    Vcpu* v2 = t->vcpu;
+    sem->waiters.PushBack(t);
+    --runnable_;
+    t->state = Tcb::State::kBlockedSync;
+    v2->current = nullptr;
+    backend_->OnThreadUnloaded(v2);
+    Dispatch(v2);
+  });
+}
+
+void FastThreads::DoSignal(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  UltSem* sem = sems_[static_cast<size_t>(t->work->ctx.op.sync_id)].get();
+  ++counters_.signals;
+  Tcb* waiter = sem->waiters.Front();
+  const sim::Duration charge =
+      kernel_->costs().ult_signal + (waiter != nullptr ? FlagCs(1) : 0);
+  ChargeMgmt(v, charge, [this, t, sem] {
+    Vcpu* v2 = t->vcpu;
+    Tcb* next = sem->waiters.PopFront();
+    if (next == nullptr) {
+      ++sem->pending;
+      StepAndInterpret(t);
+      return;
+    }
+    ++runnable_;
+    next->resume_check = true;
+    EnqueueReady(v2, next);
+    backend_->NotifyParallelism(v2, [this, t] { StepAndInterpret(t); });
+  });
+}
+
+void FastThreads::DoYield(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  ChargeMgmt(v, kernel_->costs().ult_dispatch, [this, t] {
+    Vcpu* v2 = t->vcpu;
+    t->state = Tcb::State::kReady;
+    t->vcpu = nullptr;
+    v2->ready.PushBack(t);  // back of the list: round-robin among peers
+    v2->current = nullptr;
+    backend_->OnThreadUnloaded(v2);
+    Dispatch(v2);
+  });
+}
+
+void FastThreads::DoDone(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  rt::WorkThread* w = t->work;
+  const sim::Duration charge = kernel_->costs().ult_exit + FlagCs(1) +
+                               static_cast<sim::Duration>(w->joiners.size()) *
+                                   kernel_->costs().ult_signal;
+  ChargeMgmt(v, charge, [this, t, w] {
+    Vcpu* v2 = t->vcpu;
+    ++counters_.exits;
+    w->finished = true;
+    table_.NoteFinished();
+    --runnable_;
+    t->state = Tcb::State::kDone;
+    for (rt::WorkThread* jw : w->joiners) {
+      Tcb* joiner = static_cast<Tcb*>(jw->impl);
+      ++runnable_;
+      joiner->resume_check = true;
+      EnqueueReady(v2, joiner);
+    }
+    w->joiners.clear();
+    if (on_thread_done) {
+      on_thread_done(t);
+    }
+    v2->current = nullptr;
+    backend_->OnThreadUnloaded(v2);
+    FreeTcb(v2, t);
+    Dispatch(v2);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Critical-section recovery (Section 3.3).
+// ---------------------------------------------------------------------------
+
+void FastThreads::RecoverOrReady(Vcpu* v, Tcb* t, std::function<void(Vcpu*)> after) {
+  if (t->cs_depth > 0) {
+    // The stopped thread holds a spinlock: continue it via a user-level
+    // context switch until it exits the critical section (deadlock freedom;
+    // the check happens before the handler takes any locks).
+    ++kernel_->counters().cs_recoveries;
+    t->cs_recovery = true;
+    t->recovery_after = std::move(after);
+    ChargeMgmt(v, kernel_->costs().ult_dispatch, [this, v, t] { ContinueThread(v, t); });
+    return;
+  }
+  t->resume_check = true;
+  EnqueueReady(v, t);
+  after(v);
+}
+
+void FastThreads::FinishRecovery(Tcb* t) {
+  SA_CHECK(t->cs_recovery && t->cs_depth == 0);
+  t->cs_recovery = false;
+  Vcpu* v = t->vcpu;
+  v->current = nullptr;
+  backend_->OnThreadUnloaded(v);
+  t->state = Tcb::State::kStopped;  // leaves kRunning before re-queueing
+  t->resume_check = true;
+  EnqueueReady(v, t);
+  std::function<void(Vcpu*)> after = std::move(t->recovery_after);
+  t->recovery_after = nullptr;
+  // Relinquish control back to the original upcall via a user-level switch.
+  ChargeMgmt(v, kernel_->costs().ult_dispatch, [v, after = std::move(after)] { after(v); });
+}
+
+}  // namespace sa::ult

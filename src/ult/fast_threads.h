@@ -1,0 +1,171 @@
+// FastThreads: the user-level thread package (Anderson et al. 1989), as used
+// by the paper.
+//
+// Structure (Section 4.2 / 4.3):
+//  * per-virtual-processor ready lists, accessed LIFO for cache locality,
+//    with a scan of the other processors' lists when the local one is empty;
+//  * per-virtual-processor unlocked free lists of thread control blocks;
+//  * user-level locks and conditions — blocking a thread never enters the
+//    kernel;
+//  * critical sections are continued (not restarted) after an inopportune
+//    preemption: when the kernel reports a stopped thread that held a
+//    spinlock, the thread is continued via a user-level context switch until
+//    it exits the critical section, then control returns to the event
+//    handler (Section 3.3, recovery — deadlock-free).
+//
+// Modelling note: the package's *internal* critical sections (a few
+// microseconds around free-list and ready-list operations) are modelled as
+// non-preemptible management spans — an interrupt arriving during one is
+// latched and delivered at the next preemptible boundary.  The latency
+// effect is identical to continuing the few-microsecond remainder via the
+// paper's copied-critical-section mechanism, without modelling copied code.
+// Application-level spinlock critical sections — the long, performance-
+// relevant ones — get the full recovery protocol.
+
+#ifndef SA_ULT_FAST_THREADS_H_
+#define SA_ULT_FAST_THREADS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/rt/runtime.h"
+#include "src/ult/backend.h"
+#include "src/ult/config.h"
+#include "src/ult/tcb.h"
+
+namespace sa::ult {
+
+// User-level operation counters (reported by experiments).
+struct UltCounters {
+  int64_t forks = 0;
+  int64_t exits = 0;
+  int64_t dispatches = 0;
+  int64_t steals = 0;
+  int64_t signals = 0;
+  int64_t waits = 0;
+  int64_t spin_acquires = 0;
+  int64_t spin_contended = 0;
+  int64_t idles = 0;
+};
+
+class FastThreads {
+ public:
+  FastThreads(kern::Kernel* kernel, kern::AddressSpace* as, UltConfig config,
+              VcpuBackend* backend);
+
+  kern::Kernel* kernel() { return kernel_; }
+  kern::AddressSpace* address_space() { return as_; }
+  const UltConfig& config() const { return config_; }
+  UltCounters& counters() { return counters_; }
+  rt::ThreadTable& table() { return table_; }
+
+  // ---- setup ----
+  int CreateLock(rt::LockKind kind);
+  int CreateCond();
+  // Creates a thread with no cost (pre-start spawn); enqueues it ready.
+  Tcb* SpawnThread(rt::WorkThread* w);
+
+  Vcpu* vcpu(int index) { return vcpus_[static_cast<size_t>(index)].get(); }
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  UltLock* lock(int id) { return locks_[static_cast<size_t>(id)].get(); }
+
+  // Number of threads that are ready or running (parallelism signal).
+  int runnable() const { return runnable_; }
+  // True once any thread with a non-default priority exists; enables the
+  // priority-aware dispatch path (kept off the microbenchmark fast path).
+  bool has_priorities() const { return has_priorities_; }
+  // Highest priority among ready threads (INT_MIN if none are ready).
+  int HighestReadyPriority() const;
+  // The bound virtual processor (other than `exclude`) running the
+  // lowest-priority thread, or nullptr if none is running a thread.
+  Vcpu* LowestPriorityRunningVcpu(const Vcpu* exclude) const;
+  // Mutable access for backends that adjust accounting inside kernel-side
+  // commit callbacks (kernel-event waits).
+  int& runnable_ref() { return runnable_; }
+
+  // ---- execution entry points (called by backends/hosts) ----
+  // Continue whatever `v` should be doing: its current thread or a dispatch.
+  void RunVcpu(Vcpu* v);
+  // Pick the next ready thread for `v`, or go idle.
+  void Dispatch(Vcpu* v);
+  // Load `t` into `v` and continue its execution (saved span, pending
+  // spinlock, or coroutine step).
+  void ContinueThread(Vcpu* v, Tcb* t);
+  // Make `t` runnable; wakes an idle virtual processor if one exists.
+  // `from` is the vcpu doing the enqueue (locality).  front=false queues at
+  // the back (used for just-preempted threads so that an unblocked thread in
+  // the same upcall batch runs first — a thread-system policy choice the
+  // paper leaves to user level).
+  void EnqueueReady(Vcpu* from, Tcb* t, bool front = true);
+
+  // The kernel event/IO op of `t` completed while it stayed bound to `v`
+  // (kernel-thread backend): resume the coroutine.
+  void ResumeAfterKernel(Vcpu* v, Tcb* t);
+
+  // Critical-section recovery (Section 3.3): `t` arrived from the kernel
+  // stopped while holding a spinlock.  Continue it on `v` until it exits the
+  // critical section, then run `after` with the vcpu on which processing
+  // resumes (recovery can migrate across processors).  If `t` holds no lock
+  // this readies it immediately and runs `after` synchronously.
+  void RecoverOrReady(Vcpu* v, Tcb* t, std::function<void(Vcpu*)> after);
+
+  // Called by the runtime facade when a thread body finished.
+  std::function<void(Tcb*)> on_thread_done;
+
+  // ---- cost helpers ----
+  sim::Duration FlagCs(int crossings) const {
+    return config_.flag_based_critical_sections
+               ? crossings * kernel_->costs().cs_flag_overhead
+               : 0;
+  }
+
+  // Charge a management span (non-preemptible; see file comment) on v's
+  // processor, then run `fn`.
+  void ChargeMgmt(Vcpu* v, sim::Duration d, std::function<void()> fn);
+
+  // Interpret the pending op of `t` (public for the runtime facade).
+  void Interpret(Tcb* t);
+  void StepAndInterpret(Tcb* t);
+
+ private:
+  friend class UltRuntime;
+
+  void DoFork(Tcb* parent);
+  void DoJoin(Tcb* t);
+  void DoAcquire(Tcb* t);
+  void DoRelease(Tcb* t);
+  void DoWait(Tcb* t);
+  void DoSignal(Tcb* t);
+  void DoYield(Tcb* t);
+  void DoDone(Tcb* t);
+  void DispatchByPriority(Vcpu* v);
+  void TrySpinAcquire(Vcpu* v, Tcb* t);
+  void GrantSpinLock(UltLock* lock);
+  void FinishRecovery(Tcb* t);
+
+  Tcb* AllocTcb(Vcpu* v, rt::WorkThread* w);
+  void FreeTcb(Vcpu* v, Tcb* t);
+  Tcb* PopLocal(Vcpu* v);
+  Tcb* Steal(Vcpu* v);
+
+  kern::Kernel* kernel_;
+  kern::AddressSpace* as_;
+  UltConfig config_;
+  VcpuBackend* backend_;
+  rt::ThreadTable table_;
+  UltCounters counters_;
+
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  std::vector<std::unique_ptr<Tcb>> tcbs_;
+  std::vector<std::unique_ptr<UltLock>> locks_;
+  std::vector<std::unique_ptr<UltSem>> sems_;
+  int runnable_ = 0;
+  int next_tcb_id_ = 0;
+  bool has_priorities_ = false;
+};
+
+}  // namespace sa::ult
+
+#endif  // SA_ULT_FAST_THREADS_H_

@@ -1,0 +1,106 @@
+#include "src/ult/kt_backend.h"
+
+#include <utility>
+
+#include "src/ult/fast_threads.h"
+
+namespace sa::ult {
+
+KtBackend::KtBackend(kern::Kernel* kernel, kern::AddressSpace* as)
+    : kernel_(kernel), as_(as) {}
+
+void KtBackend::Attach(FastThreads* ft) { ft_ = ft; }
+
+int KtBackend::CreateKernelEvent() {
+  events_.push_back(std::make_unique<KEvent>());
+  return static_cast<int>(events_.size()) - 1;
+}
+
+void KtBackend::Start() {
+  // One kernel thread per virtual processor, permanently bound.
+  for (int i = 0; i < ft_->num_vcpus(); ++i) {
+    Vcpu* v = ft_->vcpu(i);
+    kern::KThread* kt = kernel_->CreateThread(as_, this, v);
+    v->kt = kt;
+    v->bound = true;
+    kernel_->StartThread(kt);
+  }
+}
+
+void KtBackend::RunOn(kern::KThread* kt) {
+  Vcpu* v = VcpuOf(kt);
+  v->idle_spinning = false;  // being (re)dispatched always re-enters the loop
+  ft_->RunVcpu(v);
+}
+
+void KtBackend::OnPreempted(kern::KThread* kt, hw::Interrupt irq) {
+  Vcpu* v = VcpuOf(kt);
+  Tcb* t = v->current;
+  if (irq.open) {
+    if (t != nullptr && t->state == Tcb::State::kSpinning) {
+      // The spinner's processor is gone; it no longer burns cycles, and the
+      // lock holder's release must not pick it until it runs again.
+      t->actively_spinning = false;
+    } else {
+      // Idle loop: nothing to save.
+      v->idle_spinning = false;
+    }
+    return;
+  }
+  if (irq.on_complete != nullptr) {
+    // Kernel-thread semantics: the interrupted user execution stays loaded
+    // in this kernel thread's context and continues at its next dispatch.
+    kt->saved_span() = hw::SavedSpan::FromInterrupt(std::move(irq));
+  }
+}
+
+void KtBackend::BlockIo(Vcpu* v, Tcb* t, sim::Duration latency) {
+  // The vcpu's kernel thread blocks with the user-level thread in its
+  // context: the physical processor is lost to the address space.
+  kernel_->SysBlockIo(v->kt, latency);
+}
+
+void KtBackend::PageFault(Vcpu* v, Tcb* t, int64_t page, sim::Duration latency) {
+  // Non-resident: the vcpu's kernel thread blocks, exactly like I/O.
+  kernel_->SysPageFault(v->kt, page, latency, nullptr);
+}
+
+void KtBackend::KernelWait(Vcpu* v, Tcb* t, int event_id) {
+  KEvent* ev = events_[static_cast<size_t>(event_id)].get();
+  kern::KThread* kt = v->kt;
+  kernel_->SysBlockWait(
+      kt,
+      [this, ev, kt, t] {
+        if (ev->pending > 0) {
+          --ev->pending;
+          return false;
+        }
+        ev->waiters.emplace_back(kt, t);
+        --ft_->runnable_ref();
+        t->state = Tcb::State::kBlockedKernel;
+        return true;
+      },
+      [this, t] { ft_->StepAndInterpret(t); });
+}
+
+void KtBackend::KernelSignal(Vcpu* v, Tcb* t, int event_id) {
+  KEvent* ev = events_[static_cast<size_t>(event_id)].get();
+  if (!ev->waiters.empty()) {
+    auto [waiter_kt, waiter_t] = ev->waiters.front();
+    ev->waiters.pop_front();
+    kernel_->SysWakeup(v->kt, waiter_kt, [this, t] { ft_->StepAndInterpret(t); });
+    return;
+  }
+  kernel_->ChargeKernel(v->kt, kernel_->costs().kernel_trap, [this, ev, t] {
+    ++ev->pending;
+    ft_->StepAndInterpret(t);
+  });
+}
+
+void KtBackend::OnIdle(Vcpu* v) {
+  // Original FastThreads idles in the user-level scheduler: the kernel
+  // thread keeps its processor and looks busy to the kernel.
+  v->proc()->BeginOpenSpan(hw::SpanMode::kIdleSpin);
+}
+
+}  // namespace sa::ult

@@ -1,0 +1,60 @@
+// Runtime facade: FastThreads on either backend, exposed through the
+// uniform rt::Runtime interface so the same workloads run on original
+// FastThreads (kernel threads) and modified FastThreads (scheduler
+// activations).
+
+#ifndef SA_ULT_ULT_RUNTIME_H_
+#define SA_ULT_ULT_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "src/rt/runtime.h"
+#include "src/ult/fast_threads.h"
+#include "src/ult/kt_backend.h"
+#include "src/ult/sa_backend.h"
+
+namespace sa::ult {
+
+enum class BackendKind {
+  kKernelThreads,         // original FastThreads
+  kSchedulerActivations,  // modified FastThreads (the paper's system)
+};
+
+class UltRuntime : public rt::Runtime {
+ public:
+  UltRuntime(kern::Kernel* kernel, std::string name, BackendKind backend,
+             UltConfig config, int priority = 0);
+  ~UltRuntime() override;
+
+  const std::string& name() const override { return name_; }
+  int CreateLock(rt::LockKind kind) override { return ft_->CreateLock(kind); }
+  int CreateCond() override { return ft_->CreateCond(); }
+  int CreateKernelEvent() override;
+  int Spawn(rt::WorkloadFn fn, std::string thread_name) override;
+  void Start() override;
+  bool AllDone() const override { return ft_->table().AllFinished(); }
+  size_t threads_created() const override { return ft_->table().size(); }
+  size_t threads_finished() const override { return ft_->table().finished(); }
+
+  FastThreads& fast_threads() { return *ft_; }
+  kern::AddressSpace* address_space() { return as_; }
+  BackendKind backend_kind() const { return backend_kind_; }
+  // Non-null only on the scheduler-activation backend.
+  SaBackend* sa_backend() { return sa_backend_.get(); }
+  KtBackend* kt_backend() { return kt_backend_.get(); }
+
+ private:
+  std::string name_;
+  BackendKind backend_kind_;
+  kern::Kernel* kernel_;
+  kern::AddressSpace* as_;
+  std::unique_ptr<KtBackend> kt_backend_;
+  std::unique_ptr<SaBackend> sa_backend_;
+  std::unique_ptr<FastThreads> ft_;
+  bool started_ = false;
+};
+
+}  // namespace sa::ult
+
+#endif  // SA_ULT_ULT_RUNTIME_H_

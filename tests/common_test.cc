@@ -1,0 +1,244 @@
+// Common utilities: RNG determinism, statistics, tables, intrusive lists,
+// logging capture.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/intrusive_list.h"
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace sa::common {
+namespace {
+
+// ---- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversTheRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.Below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoublesAreInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsPlausible) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Uniform(10, 20);
+  }
+  EXPECT_NEAR(sum / kN, 15.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---- stats ----
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);  // sample stddev
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.Add(42);
+  EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 42.0);
+}
+
+// ---- table ----
+
+TEST(Table, RendersHeaderAndAlignment) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "10"});
+  t.AddRow({"b", "2000"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numbers are right-aligned: "2000" ends at the same column as "value"+pad.
+  EXPECT_NE(out.find("  2000"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(42.0), "42");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NE(t.ToString().find('x'), std::string::npos);
+}
+
+// ---- intrusive list ----
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode node;
+};
+
+using ItemList = IntrusiveList<Item, &Item::node>;
+
+TEST(IntrusiveList, PushPopFifo) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontIsLifo) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 1);
+}
+
+TEST(IntrusiveList, RemoveFromMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_TRUE(list.Contains(&b));
+  list.Remove(&b);
+  EXPECT_FALSE(list.Contains(&b));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopBack()->value, 3);
+  EXPECT_EQ(list.PopBack()->value, 1);
+}
+
+TEST(IntrusiveList, ElementMovesBetweenLists) {
+  ItemList x, y;
+  Item a(1);
+  x.PushBack(&a);
+  x.Remove(&a);
+  y.PushBack(&a);
+  EXPECT_TRUE(y.Contains(&a));
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(IntrusiveList, Iteration) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  int sum = 0;
+  for (Item* item : list) {
+    sum += item->value;
+  }
+  EXPECT_EQ(sum, 6);
+}
+
+// ---- logging ----
+
+TEST(Logger, CaptureRetainsRecentLines) {
+  Logger& log = Logger::Get();
+  log.EnableCapture(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Logf(LogLevel::kInfo, "test", "line %d", i);
+  }
+  ASSERT_EQ(log.captured().size(), 3u);
+  EXPECT_NE(log.captured().back().find("line 4"), std::string::npos);
+  EXPECT_NE(log.captured().front().find("line 2"), std::string::npos);
+  log.DisableCapture();
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace sa::common

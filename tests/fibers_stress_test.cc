@@ -1,0 +1,154 @@
+// Stress for the native fiber library under real kernel-thread concurrency:
+// many fibers, cross-worker wakeups, heavy mutex/semaphore/channel traffic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/fibers/sync.h"
+
+namespace sa::fibers {
+namespace {
+
+TEST(FibersStress, MutexHammer) {
+  FiberPool pool(4);
+  FiberMutex mu;
+  long counter = 0;
+  std::vector<FiberHandle> handles;
+  for (int f = 0; f < 16; ++f) {
+    handles.push_back(pool.Spawn([&] {
+      for (int i = 0; i < 2000; ++i) {
+        mu.Lock();
+        counter = counter + 1;  // non-atomic on purpose
+        if (i % 64 == 0) {
+          FiberPool::Yield();  // migrate between workers while contending
+        }
+        mu.Unlock();
+      }
+    }));
+  }
+  for (auto& h : handles) {
+    pool.Join(h);
+  }
+  EXPECT_EQ(counter, 16L * 2000);
+}
+
+TEST(FibersStress, SemaphoreProducersConsumers) {
+  FiberPool pool(4);
+  FiberSemaphore items(0);
+  FiberSemaphore slots(64);
+  std::atomic<long> produced{0}, consumed{0};
+  std::vector<FiberHandle> handles;
+  constexpr long kPerProducer = 3000;
+  for (int p = 0; p < 4; ++p) {
+    handles.push_back(pool.Spawn([&] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        slots.Wait();
+        produced.fetch_add(1);
+        items.Post();
+      }
+    }));
+  }
+  for (int c = 0; c < 4; ++c) {
+    handles.push_back(pool.Spawn([&] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        items.Wait();
+        consumed.fetch_add(1);
+        slots.Post();
+      }
+    }));
+  }
+  for (auto& h : handles) {
+    pool.Join(h);
+  }
+  EXPECT_EQ(produced, 4 * kPerProducer);
+  EXPECT_EQ(consumed, 4 * kPerProducer);
+}
+
+TEST(FibersStress, ChannelFanInFanOut) {
+  FiberPool pool(3);
+  FiberChannel<int> work(32), results(32);
+  std::atomic<int> producers{6};
+  std::atomic<int> workers{5};
+  std::atomic<long> checksum{0};
+  std::vector<FiberHandle> handles;
+  for (int p = 0; p < 6; ++p) {
+    handles.push_back(pool.Spawn([&, p] {
+      for (int i = 0; i < 400; ++i) {
+        work.Send(p * 400 + i);
+      }
+      if (producers.fetch_sub(1) == 1) {
+        work.Close();
+      }
+    }));
+  }
+  for (int w = 0; w < 5; ++w) {
+    handles.push_back(pool.Spawn([&] {
+      while (auto v = work.Receive()) {
+        results.Send(*v + 1);
+      }
+      if (workers.fetch_sub(1) == 1) {
+        results.Close();
+      }
+    }));
+  }
+  handles.push_back(pool.Spawn([&] {
+    while (auto v = results.Receive()) {
+      checksum.fetch_add(*v);
+    }
+  }));
+  for (auto& h : handles) {
+    pool.Join(h);
+  }
+  long expected = 0;
+  for (int i = 0; i < 2400; ++i) {
+    expected += i + 1;
+  }
+  EXPECT_EQ(checksum, expected);
+}
+
+TEST(FibersStress, SpawnJoinChurn) {
+  FiberPool pool(2);
+  std::atomic<long> done{0};
+  for (int round = 0; round < 40; ++round) {
+    std::vector<FiberHandle> handles;
+    for (int i = 0; i < 100; ++i) {
+      handles.push_back(pool.Spawn([&] {
+        FiberPool::Yield();
+        done.fetch_add(1);
+      }));
+    }
+    for (auto& h : handles) {
+      pool.Join(h);
+    }
+  }
+  EXPECT_EQ(done, 4000);
+}
+
+TEST(FibersStress, NestedSpawnFromFibers) {
+  FiberPool pool(3);
+  std::atomic<long> leaves{0};
+  std::vector<FiberHandle> roots;
+  for (int r = 0; r < 8; ++r) {
+    roots.push_back(pool.Spawn([&] {
+      std::vector<FiberHandle> kids;
+      for (int k = 0; k < 8; ++k) {
+        kids.push_back(FiberPool::Current()->Spawn([&] {
+          FiberPool::Yield();
+          leaves.fetch_add(1);
+        }));
+      }
+      for (auto& h : kids) {
+        FiberPool::Current()->Join(h);
+      }
+    }));
+  }
+  for (auto& h : roots) {
+    pool.Join(h);
+  }
+  EXPECT_EQ(leaves, 64);
+}
+
+}  // namespace
+}  // namespace sa::fibers

@@ -1,0 +1,216 @@
+// Barnes-Hut N-body, buffer cache, and the N-body workload driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/buffer_cache.h"
+#include "src/apps/experiments.h"
+#include "src/apps/nbody.h"
+#include "src/apps/nbody_workload.h"
+
+namespace sa::apps {
+namespace {
+
+// ---- tree code ----
+
+TEST(QuadTree, MatchesDirectSummationAtSmallTheta) {
+  common::Rng rng(17);
+  const auto bodies = MakeDisk(200, &rng);
+  QuadTree tree;
+  tree.Build(bodies);
+  // theta -> 0 forces full expansion: results must match direct summation.
+  for (int i = 0; i < 200; i += 17) {
+    int64_t interactions = 0;
+    const Vec2 approx = tree.ForceOn(bodies, i, /*theta=*/0.0, &interactions);
+    const Vec2 exact = DirectForce(bodies, i);
+    EXPECT_NEAR(approx.x, exact.x, 1e-9);
+    EXPECT_NEAR(approx.y, exact.y, 1e-9);
+    EXPECT_EQ(interactions, 199);  // one term per other body
+  }
+}
+
+TEST(QuadTree, ApproximationErrorIsSmallAtModerateTheta) {
+  common::Rng rng(18);
+  const auto bodies = MakeDisk(500, &rng);
+  QuadTree tree;
+  tree.Build(bodies);
+  // Normalize by the mean force magnitude: bodies near the disk centre have
+  // near-zero net force, which makes per-body relative error meaningless.
+  // Accuracy improves as theta shrinks (the Barnes-Hut accuracy/speed knob).
+  double prev_error = 1e9;
+  for (double theta : {0.8, 0.5, 0.2}) {
+    double err_sum = 0, mag_sum = 0;
+    for (int i = 0; i < 500; i += 23) {
+      int64_t interactions = 0;
+      const Vec2 approx = tree.ForceOn(bodies, i, theta, &interactions);
+      const Vec2 exact = DirectForce(bodies, i);
+      mag_sum += std::hypot(exact.x, exact.y);
+      err_sum += std::hypot(approx.x - exact.x, approx.y - exact.y);
+      EXPECT_LT(interactions, 500);  // never worse than direct summation
+    }
+    const double rel = err_sum / mag_sum;
+    EXPECT_LT(rel, prev_error);  // monotone in theta
+    prev_error = rel;
+  }
+  EXPECT_LT(prev_error, 0.01);  // theta = 0.2: well under 1% mean error
+}
+
+TEST(QuadTree, InteractionCountGrowsSubquadratically) {
+  common::Rng rng(19);
+  int64_t small_total = 0, large_total = 0;
+  {
+    const auto bodies = MakeDisk(250, &rng);
+    QuadTree tree;
+    tree.Build(bodies);
+    for (int i = 0; i < 250; ++i) {
+      tree.ForceOn(bodies, i, 0.8, &small_total);
+    }
+  }
+  {
+    const auto bodies = MakeDisk(1000, &rng);
+    QuadTree tree;
+    tree.Build(bodies);
+    for (int i = 0; i < 1000; ++i) {
+      tree.ForceOn(bodies, i, 0.8, &large_total);
+    }
+  }
+  // 4x the bodies: O(N^2) would give 16x the interactions; O(N log N)
+  // should stay well under 8x.
+  EXPECT_LT(large_total, 8 * small_total);
+}
+
+TEST(QuadTree, MassIsConserved) {
+  common::Rng rng(20);
+  const auto bodies = MakeDisk(300, &rng);
+  QuadTree tree;
+  tree.Build(bodies);
+  double total = 0;
+  for (const Body& b : bodies) {
+    total += b.mass;
+  }
+  EXPECT_NEAR(tree.nodes()[0].mass, total, 1e-9);
+  EXPECT_EQ(tree.nodes()[0].count, 300);
+}
+
+TEST(QuadTree, VisitorSeesEveryInteraction) {
+  common::Rng rng(21);
+  const auto bodies = MakeDisk(100, &rng);
+  QuadTree tree;
+  tree.Build(bodies);
+  int64_t interactions = 0;
+  int visits = 0;
+  tree.ForceOn(bodies, 0, 0.8, &interactions, [&](int node, int body) { ++visits; });
+  EXPECT_GE(visits, interactions);  // descends count as extra visits
+}
+
+TEST(Integrate, MovesBodiesByVelocity) {
+  std::vector<Body> bodies(1);
+  bodies[0].vx = 2.0;
+  bodies[0].ax = 1.0;
+  Integrate(&bodies, 0.5);
+  EXPECT_DOUBLE_EQ(bodies[0].vx, 2.5);
+  EXPECT_DOUBLE_EQ(bodies[0].x, 1.25);
+}
+
+// ---- buffer cache ----
+
+TEST(BufferCache, HitsAfterFirstTouch) {
+  BufferCache cache(4);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(BufferCache, EvictsLeastRecentlyUsed) {
+  BufferCache cache(2);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(1);     // 1 is now most recent
+  cache.Touch(3);     // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(BufferCache, InfiniteCapacityNeverEvicts) {
+  BufferCache cache(0);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Touch(i);
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(cache.Contains(i));
+  }
+}
+
+TEST(BufferCache, PrefillDoesNotCountStats) {
+  BufferCache cache(4);
+  cache.Prefill(1);
+  cache.Prefill(2);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(BufferCache, PrefillRespectsCapacity) {
+  BufferCache cache(2);
+  cache.Prefill(1);
+  cache.Prefill(2);
+  cache.Prefill(3);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---- workload driver ----
+
+TEST(NBodyWorkload, RunsToCompletionAndCountsWork) {
+  NBodyConfig config;
+  config.bodies = 120;
+  config.steps = 2;
+  DaemonConfig daemons;
+  daemons.enabled = false;
+  const auto r = RunNBody(SystemKind::kNewFastThreads, 2, config, daemons, 1, 3);
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_GT(r.sequential, 0);
+  EXPECT_EQ(r.cache_misses, 0);  // 100% memory
+}
+
+TEST(NBodyWorkload, PhysicsIsIdenticalAcrossRuntimes) {
+  NBodyConfig config;
+  config.bodies = 120;
+  config.steps = 2;
+  DaemonConfig daemons;
+  daemons.enabled = false;
+  const auto a = RunNBody(SystemKind::kTopazThreads, 2, config, daemons, 1, 3);
+  const auto b = RunNBody(SystemKind::kNewFastThreads, 2, config, daemons, 1, 3);
+  // The same computation was performed: identical sequential-time baseline.
+  EXPECT_EQ(a.sequential, b.sequential);
+}
+
+TEST(NBodyWorkload, ReducedMemoryProducesMisses) {
+  NBodyConfig config;
+  config.bodies = 240;
+  config.steps = 2;
+  config.memory_percent = 50;
+  DaemonConfig daemons;
+  daemons.enabled = false;
+  const auto r = RunNBody(SystemKind::kNewFastThreads, 2, config, daemons, 1, 3);
+  EXPECT_GT(r.cache_misses, 0);
+  EXPECT_GT(r.counters.io_blocks, 0);
+}
+
+TEST(NBodyWorkload, DeterministicAcrossRepeatedRuns) {
+  NBodyConfig config;
+  config.bodies = 120;
+  config.steps = 2;
+  DaemonConfig daemons;
+  const auto a = RunNBody(SystemKind::kNewFastThreads, 3, config, daemons, 1, 5);
+  const auto b = RunNBody(SystemKind::kNewFastThreads, 3, config, daemons, 1, 5);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.counters.upcalls, b.counters.upcalls);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+}  // namespace
+}  // namespace sa::apps

@@ -1,0 +1,224 @@
+// Parameterized property sweeps: the same invariants checked across every
+// (system, processor count, workload shape) combination.
+//
+// Properties:
+//   * liveness — every spawned and forked thread finishes;
+//   * work conservation — adding processors never makes a compute-bound
+//     workload slower by more than bounded overhead;
+//   * determinism — identical (config, seed) gives identical virtual time;
+//   * correctness — fork/join/lock workloads compute the right answer.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/apps/experiments.h"
+#include "src/rt/harness.h"
+#include "src/rt/topaz_runtime.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa {
+namespace {
+
+using apps::SystemKind;
+
+std::unique_ptr<rt::Runtime> MakeRuntime(rt::Harness& h, SystemKind system,
+                                         int processors) {
+  switch (system) {
+    case SystemKind::kTopazThreads:
+      return std::make_unique<rt::TopazRuntime>(&h.kernel(), "sweep");
+    case SystemKind::kOrigFastThreads: {
+      ult::UltConfig uc;
+      uc.max_vcpus = processors;
+      return std::make_unique<ult::UltRuntime>(&h.kernel(), "sweep",
+                                               ult::BackendKind::kKernelThreads, uc);
+    }
+    case SystemKind::kNewFastThreads: {
+      ult::UltConfig uc;
+      uc.max_vcpus = processors;
+      return std::make_unique<ult::UltRuntime>(
+          &h.kernel(), "sweep", ult::BackendKind::kSchedulerActivations, uc);
+    }
+  }
+  return nullptr;
+}
+
+const char* ShortName(SystemKind system) {
+  switch (system) {
+    case SystemKind::kTopazThreads:
+      return "Topaz";
+    case SystemKind::kOrigFastThreads:
+      return "OrigFT";
+    case SystemKind::kNewFastThreads:
+      return "NewFT";
+  }
+  return "?";
+}
+
+std::string SweepName(const ::testing::TestParamInfo<std::tuple<SystemKind, int>>& info) {
+  return std::string(ShortName(std::get<0>(info.param))) + "_p" +
+         std::to_string(std::get<1>(info.param));
+}
+
+std::string SystemOnlyName(const ::testing::TestParamInfo<SystemKind>& info) {
+  return ShortName(info.param);
+}
+
+kern::KernelMode ModeFor(SystemKind system) {
+  return system == SystemKind::kNewFastThreads ? kern::KernelMode::kSchedulerActivations
+                                               : kern::KernelMode::kNativeTopaz;
+}
+
+class SystemSweep : public ::testing::TestWithParam<std::tuple<SystemKind, int>> {
+ protected:
+  SystemKind system() const { return std::get<0>(GetParam()); }
+  int processors() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SystemSweep, ForkJoinTreeComputesCorrectSum) {
+  rt::HarnessConfig config;
+  config.processors = processors();
+  config.kernel.mode = ModeFor(system());
+  rt::Harness h(config);
+  auto rt = MakeRuntime(h, system(), processors());
+  h.AddRuntime(rt.get());
+
+  int sum = 0;
+  rt->Spawn(
+      [&sum](rt::ThreadCtx& t) -> sim::Program {
+        std::vector<int> kids;
+        for (int i = 1; i <= 12; ++i) {
+          kids.push_back(co_await t.Fork(
+              [&sum, i](rt::ThreadCtx& c) -> sim::Program {
+                co_await c.Compute(sim::Usec(200));
+                sum += i;
+              },
+              "leaf"));
+        }
+        for (int kid : kids) {
+          co_await t.Join(kid);
+        }
+      },
+      "root");
+  h.Run();
+  EXPECT_EQ(sum, 78);
+  EXPECT_EQ(rt->threads_finished(), 13u);
+}
+
+TEST_P(SystemSweep, MutualExclusionHolds) {
+  rt::HarnessConfig config;
+  config.processors = processors();
+  config.kernel.mode = ModeFor(system());
+  rt::Harness h(config);
+  auto rt = MakeRuntime(h, system(), processors());
+  h.AddRuntime(rt.get());
+
+  const int lock = rt->CreateLock(rt::LockKind::kSpin);
+  int in_cs = 0;
+  int max_in_cs = 0;
+  int total = 0;
+  for (int w = 0; w < 4; ++w) {
+    rt->Spawn(
+        [&, lock](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < 10; ++k) {
+            co_await t.Acquire(lock);
+            ++in_cs;
+            max_in_cs = std::max(max_in_cs, in_cs);
+            co_await t.Compute(sim::Usec(50));
+            --in_cs;
+            ++total;
+            co_await t.Release(lock);
+            co_await t.Compute(sim::Usec(30));
+          }
+        },
+        "locker");
+  }
+  h.Run();
+  EXPECT_EQ(max_in_cs, 1) << "two threads inside one spinlock critical section";
+  EXPECT_EQ(total, 40);
+}
+
+TEST_P(SystemSweep, IoAndComputeMixFinishes) {
+  rt::HarnessConfig config;
+  config.processors = processors();
+  config.kernel.mode = ModeFor(system());
+  rt::Harness h(config);
+  auto rt = MakeRuntime(h, system(), processors());
+  h.AddRuntime(rt.get());
+
+  for (int w = 0; w < 6; ++w) {
+    rt->Spawn(
+        [w](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < 3; ++k) {
+            co_await t.Compute(sim::Usec(300 + 100 * w));
+            co_await t.Io(sim::Msec(1 + w % 3));
+          }
+        },
+        "mix");
+  }
+  h.Run();
+  EXPECT_EQ(rt->threads_finished(), 6u);
+}
+
+TEST_P(SystemSweep, DeterministicVirtualTime) {
+  sim::Time first = 0;
+  for (int round = 0; round < 2; ++round) {
+    rt::HarnessConfig config;
+    config.processors = processors();
+    config.seed = 99;
+    config.kernel.mode = ModeFor(system());
+    rt::Harness h(config);
+    auto rt = MakeRuntime(h, system(), processors());
+    h.AddRuntime(rt.get());
+    for (int w = 0; w < 4; ++w) {
+      rt->Spawn(
+          [](rt::ThreadCtx& t) -> sim::Program {
+            co_await t.Compute(sim::Msec(2));
+            co_await t.Io(sim::Msec(1));
+            co_await t.Compute(sim::Msec(2));
+          },
+          "d");
+    }
+    const sim::Time elapsed = h.Run();
+    if (round == 0) {
+      first = elapsed;
+    } else {
+      EXPECT_EQ(elapsed, first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemSweep,
+    ::testing::Combine(::testing::Values(SystemKind::kTopazThreads,
+                                         SystemKind::kOrigFastThreads,
+                                         SystemKind::kNewFastThreads),
+                       ::testing::Values(1, 2, 4, 6)),
+    SweepName);
+
+// ---- scaling property on the paper's own workload ----
+
+class NBodyScaling : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(NBodyScaling, SpeedupIsMonotonicInProcessors) {
+  apps::NBodyConfig config;
+  config.bodies = 240;
+  config.steps = 1;
+  apps::DaemonConfig daemons;
+  daemons.enabled = false;
+  double prev = 0;
+  for (int p : {1, 2, 4}) {
+    const double s = apps::RunNBody(GetParam(), p, config, daemons, 1, 11).speedup;
+    EXPECT_GT(s, prev * 0.95) << "speedup regressed from " << prev << " at p=" << p;
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, NBodyScaling,
+                         ::testing::Values(SystemKind::kTopazThreads,
+                                           SystemKind::kOrigFastThreads,
+                                           SystemKind::kNewFastThreads),
+                         SystemOnlyName);
+
+}  // namespace
+}  // namespace sa

@@ -1,0 +1,156 @@
+// Space-sharing processor allocator (Section 4.1): fair-share targets,
+// priorities, demand caps, and dynamic reallocation.
+
+#include <gtest/gtest.h>
+
+#include "src/kern/kernel.h"
+#include "src/kern/proc_alloc.h"
+#include "src/rt/harness.h"
+#include "src/rt/topaz_runtime.h"
+
+namespace sa::kern {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : machine_(6, 1) {
+    Config config;
+    config.mode = KernelMode::kSchedulerActivations;
+    kernel_ = std::make_unique<Kernel>(&machine_, config);
+  }
+
+  AddressSpace* NewSpace(const std::string& name, int priority = 0) {
+    // Kernel-thread mode spaces are fine for target computation tests.
+    return kernel_->CreateAddressSpace(name, AsMode::kKernelThreads, priority);
+  }
+
+  std::vector<int> Targets() { return kernel_->allocator()->ComputeTargets(); }
+
+  hw::Machine machine_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(AllocatorTest, EvenSplitBetweenTwoEagerSpaces) {
+  AddressSpace* a = NewSpace("a");
+  AddressSpace* b = NewSpace("b");
+  a->set_desired_processors(6);
+  b->set_desired_processors(6);
+  EXPECT_EQ(Targets(), (std::vector<int>{3, 3}));
+}
+
+TEST_F(AllocatorTest, SurplusOfModestSpaceGoesToTheEagerOne) {
+  AddressSpace* a = NewSpace("a");
+  AddressSpace* b = NewSpace("b");
+  a->set_desired_processors(1);
+  b->set_desired_processors(6);
+  EXPECT_EQ(Targets(), (std::vector<int>{1, 5}));
+}
+
+TEST_F(AllocatorTest, DemandIsACap) {
+  AddressSpace* a = NewSpace("a");
+  a->set_desired_processors(2);
+  EXPECT_EQ(Targets(), (std::vector<int>{2}));
+}
+
+TEST_F(AllocatorTest, ZeroDemandGetsNothing) {
+  AddressSpace* a = NewSpace("a");
+  AddressSpace* b = NewSpace("b");
+  a->set_desired_processors(0);
+  b->set_desired_processors(4);
+  EXPECT_EQ(Targets(), (std::vector<int>{0, 4}));
+}
+
+TEST_F(AllocatorTest, LeftoverProcessorsGoOneEachBySpaceId) {
+  AddressSpace* a = NewSpace("a");
+  AddressSpace* b = NewSpace("b");
+  AddressSpace* c = NewSpace("c");
+  AddressSpace* d = NewSpace("d");
+  for (AddressSpace* as : {a, b, c, d}) {
+    as->set_desired_processors(6);
+  }
+  // 6 processors over 4 spaces: 1 each plus one leftover to the first two.
+  EXPECT_EQ(Targets(), (std::vector<int>{2, 2, 1, 1}));
+}
+
+TEST_F(AllocatorTest, HigherPriorityTierIsSatisfiedFirst) {
+  AddressSpace* lo = NewSpace("lo", 0);
+  AddressSpace* hi = NewSpace("hi", 1);
+  lo->set_desired_processors(6);
+  hi->set_desired_processors(4);
+  EXPECT_EQ(Targets(), (std::vector<int>{2, 4}));
+}
+
+TEST_F(AllocatorTest, EqualPriorityIgnoresRegistrationOrderForShares) {
+  AddressSpace* a = NewSpace("a");
+  AddressSpace* b = NewSpace("b");
+  AddressSpace* c = NewSpace("c");
+  a->set_desired_processors(1);
+  b->set_desired_processors(6);
+  c->set_desired_processors(6);
+  // a capped at 1; remaining 5 split between b and c (3/2 by id order).
+  const auto t = Targets();
+  EXPECT_EQ(t[0], 1);
+  EXPECT_EQ(t[1] + t[2], 5);
+  EXPECT_LE(std::abs(t[1] - t[2]), 1);
+}
+
+// ---- end-to-end reallocation through the kernel ----
+
+TEST(AllocatorDynamics, ProcessorsFollowDemand) {
+  rt::HarnessConfig config;
+  config.processors = 4;
+  config.kernel.mode = KernelMode::kSchedulerActivations;
+  rt::Harness h(config);
+  // Two kernel-thread spaces with phased load: A computes first, then B.
+  rt::TopazRuntime a(&h.kernel(), "a");
+  rt::TopazRuntime b(&h.kernel(), "b");
+  h.AddRuntime(&a);
+  h.AddRuntime(&b);
+  for (int i = 0; i < 4; ++i) {
+    a.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(20)); },
+            "a-worker");
+    b.Spawn(
+        [](rt::ThreadCtx& t) -> sim::Program {
+          co_await t.Io(sim::Msec(15));  // B sleeps while A computes
+          co_await t.Compute(sim::Msec(20));
+        },
+        "b-worker");
+  }
+  h.Start();
+  // While B sleeps, A should hold all four processors.
+  h.engine().RunUntil(sim::Msec(10));
+  EXPECT_EQ(a.address_space()->assigned().size(), 4u);
+  // After B wakes, the split should become 2/2.
+  h.engine().RunUntil(sim::Msec(25));
+  EXPECT_EQ(a.address_space()->assigned().size(), 2u);
+  EXPECT_EQ(b.address_space()->assigned().size(), 2u);
+  h.Run();
+  EXPECT_EQ(a.threads_finished(), 4u);
+  EXPECT_EQ(b.threads_finished(), 4u);
+}
+
+TEST(AllocatorDynamics, FreedProcessorsAreRegranted) {
+  rt::HarnessConfig config;
+  config.processors = 2;
+  config.kernel.mode = KernelMode::kSchedulerActivations;
+  rt::Harness h(config);
+  rt::TopazRuntime a(&h.kernel(), "a");
+  rt::TopazRuntime b(&h.kernel(), "b");
+  h.AddRuntime(&a);
+  h.AddRuntime(&b);
+  a.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(5)); },
+          "short");
+  b.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(30)); },
+          "long1");
+  b.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(30)); },
+          "long2");
+  h.Start();
+  // Initially 1/1; once A finishes, B should get both processors.
+  h.engine().RunUntil(sim::Msec(20));
+  EXPECT_EQ(b.address_space()->assigned().size(), 2u);
+  const sim::Time elapsed = h.Run();
+  EXPECT_LT(sim::ToMsec(elapsed), 45.0);  // B's two threads overlapped
+}
+
+}  // namespace
+}  // namespace sa::kern

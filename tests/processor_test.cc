@@ -1,0 +1,181 @@
+// Simulated processor: spans, preemption, interrupt latching, accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/hw/processor.h"
+
+namespace sa::hw {
+namespace {
+
+class ProcessorTest : public ::testing::Test {
+ protected:
+  ProcessorTest() : machine_(1, /*seed=*/1), proc_(machine_.processor(0)) {
+    proc_->set_interrupt_handler([this](Processor*, Interrupt irq) {
+      ++interrupts_;
+      last_ = std::move(irq);
+    });
+  }
+
+  sim::Engine& engine() { return machine_.engine(); }
+
+  Machine machine_;
+  Processor* proc_;
+  int interrupts_ = 0;
+  Interrupt last_;
+};
+
+TEST_F(ProcessorTest, TimedSpanCompletesAfterDuration) {
+  bool done = false;
+  proc_->BeginSpan(sim::Usec(100), SpanMode::kUser, true, false, [&] { done = true; });
+  EXPECT_TRUE(proc_->has_span());
+  engine().Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine().now(), sim::Usec(100));
+  EXPECT_FALSE(proc_->has_span());
+}
+
+TEST_F(ProcessorTest, ZeroDurationSpanCompletesSynchronously) {
+  bool done = false;
+  proc_->BeginSpan(0, SpanMode::kKernel, false, false, [&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine().pending_events(), 0u);
+}
+
+TEST_F(ProcessorTest, PreemptionDeliversRemainingWork) {
+  bool completed = false;
+  proc_->BeginSpan(sim::Usec(100), SpanMode::kUser, true, false,
+                   [&] { completed = true; });
+  engine().RunUntil(sim::Usec(40));
+  proc_->RequestInterrupt();
+  EXPECT_EQ(interrupts_, 1);
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(last_.elapsed, sim::Usec(40));
+  EXPECT_EQ(last_.remaining, sim::Usec(60));
+  EXPECT_EQ(last_.mode, SpanMode::kUser);
+  ASSERT_TRUE(last_.on_complete != nullptr);
+
+  // Continue the span with its saved continuation.
+  proc_->BeginSpan(last_.remaining, last_.mode, true, false,
+                   std::move(last_.on_complete));
+  engine().Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(engine().now(), sim::Usec(100));
+}
+
+TEST_F(ProcessorTest, CriticalSectionFlagTravelsWithPreemption) {
+  proc_->BeginSpan(sim::Usec(50), SpanMode::kUser, true, /*critical_section=*/true,
+                   [] {});
+  EXPECT_TRUE(proc_->in_critical_section());
+  engine().RunUntil(sim::Usec(10));
+  proc_->RequestInterrupt();
+  EXPECT_TRUE(last_.critical_section);
+}
+
+TEST_F(ProcessorTest, NonPreemptibleSpanLatchesInterrupt) {
+  bool done = false;
+  proc_->BeginSpan(sim::Usec(100), SpanMode::kKernel, /*preemptible=*/false, false,
+                   [&] { done = true; });
+  proc_->RequestInterrupt();
+  EXPECT_EQ(interrupts_, 0);
+  EXPECT_TRUE(proc_->interrupt_latched());
+  engine().Run();
+  EXPECT_TRUE(done);  // the kernel span completed despite the request
+}
+
+TEST_F(ProcessorTest, LatchedInterruptFiresAtNextPreemptibleSpan) {
+  proc_->BeginSpan(sim::Usec(10), SpanMode::kKernel, false, false, [] {});
+  proc_->RequestInterrupt();
+  engine().Run();
+  EXPECT_EQ(interrupts_, 0);
+  // The next preemptible span fires the latch instead of starting.
+  bool started = false;
+  proc_->BeginSpan(sim::Usec(20), SpanMode::kUser, true, false, [&] { started = true; });
+  EXPECT_EQ(interrupts_, 1);
+  EXPECT_FALSE(started);
+  EXPECT_EQ(last_.remaining, sim::Usec(20));
+  EXPECT_EQ(last_.elapsed, 0);
+}
+
+TEST_F(ProcessorTest, ConsumeLatchedInterruptClearsIt) {
+  proc_->BeginSpan(sim::Usec(10), SpanMode::kKernel, false, false, [] {});
+  proc_->RequestInterrupt();
+  engine().Run();
+  EXPECT_TRUE(proc_->ConsumeLatchedInterrupt());
+  EXPECT_FALSE(proc_->ConsumeLatchedInterrupt());
+  // Subsequent preemptible spans run normally.
+  bool done = false;
+  proc_->BeginSpan(sim::Usec(5), SpanMode::kUser, true, false, [&] { done = true; });
+  engine().Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(interrupts_, 0);
+}
+
+TEST_F(ProcessorTest, OpenSpanRunsUntilEnded) {
+  proc_->BeginOpenSpan(SpanMode::kSpin);
+  EXPECT_TRUE(proc_->span_open());
+  engine().RunUntil(sim::Msec(3));
+  proc_->EndOpenSpan();
+  EXPECT_FALSE(proc_->has_span());
+  proc_->FlushAccounting();
+  EXPECT_EQ(proc_->time_in(SpanMode::kSpin), sim::Msec(3));
+}
+
+TEST_F(ProcessorTest, OpenSpanPreemptionReportsOpen) {
+  proc_->BeginOpenSpan(SpanMode::kSpin);
+  engine().RunUntil(sim::Usec(70));
+  proc_->RequestInterrupt();
+  EXPECT_EQ(interrupts_, 1);
+  EXPECT_TRUE(last_.open);
+  EXPECT_EQ(last_.elapsed, sim::Usec(70));
+  EXPECT_FALSE(proc_->has_span());
+}
+
+TEST_F(ProcessorTest, IdleInterruptReportsWasIdle) {
+  proc_->RequestInterrupt();
+  EXPECT_EQ(interrupts_, 1);
+  EXPECT_TRUE(last_.was_idle);
+}
+
+TEST_F(ProcessorTest, AccountingSplitsByMode) {
+  proc_->BeginSpan(sim::Usec(10), SpanMode::kKernel, false, false, [this] {
+    proc_->BeginSpan(sim::Usec(20), SpanMode::kUser, true, false, [this] {
+      proc_->BeginSpan(sim::Usec(5), SpanMode::kMgmt, false, false, [] {});
+    });
+  });
+  engine().Run();
+  engine().RunUntil(sim::Usec(100));  // 65 us idle afterwards
+  proc_->FlushAccounting();
+  EXPECT_EQ(proc_->time_in(SpanMode::kKernel), sim::Usec(10));
+  EXPECT_EQ(proc_->time_in(SpanMode::kUser), sim::Usec(20));
+  EXPECT_EQ(proc_->time_in(SpanMode::kMgmt), sim::Usec(5));
+  EXPECT_EQ(proc_->time_in(SpanMode::kIdle), sim::Usec(65));
+  EXPECT_EQ(proc_->busy_time(), sim::Usec(35));
+}
+
+TEST_F(ProcessorTest, PreemptedElapsedTimeIsAccounted) {
+  proc_->BeginSpan(sim::Usec(100), SpanMode::kUser, true, false, [] {});
+  engine().RunUntil(sim::Usec(30));
+  proc_->RequestInterrupt();
+  proc_->FlushAccounting();
+  EXPECT_EQ(proc_->time_in(SpanMode::kUser), sim::Usec(30));
+}
+
+TEST(Machine, BuildsRequestedProcessors) {
+  Machine m(6, 42);
+  EXPECT_EQ(m.num_processors(), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(m.processor(i)->id(), i);
+  }
+}
+
+TEST(Machine, SpanModeNamesAreStable) {
+  EXPECT_STREQ(SpanModeName(SpanMode::kIdle), "idle");
+  EXPECT_STREQ(SpanModeName(SpanMode::kUser), "user");
+  EXPECT_STREQ(SpanModeName(SpanMode::kMgmt), "mgmt");
+  EXPECT_STREQ(SpanModeName(SpanMode::kKernel), "kernel");
+  EXPECT_STREQ(SpanModeName(SpanMode::kSpin), "spin");
+}
+
+}  // namespace
+}  // namespace sa::hw

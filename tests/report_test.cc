@@ -1,0 +1,78 @@
+// Run reports: the processor-time breakdown must account for every
+// nanosecond of machine time, across systems.
+
+#include <gtest/gtest.h>
+
+#include "src/rt/harness.h"
+#include "src/rt/report.h"
+#include "src/rt/topaz_runtime.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa::rt {
+namespace {
+
+TEST(RunReport, BreakdownSumsToMachineTime) {
+  HarnessConfig config;
+  config.processors = 3;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 3;
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations, uc);
+  h.AddRuntime(&ft);
+  for (int i = 0; i < 5; ++i) {
+    ft.Spawn(
+        [](rt::ThreadCtx& t) -> sim::Program {
+          co_await t.Compute(sim::Msec(2));
+          co_await t.Io(sim::Msec(1));
+          co_await t.Compute(sim::Msec(2));
+        },
+        "w");
+  }
+  h.Run();
+  const RunReport report = MakeReport(h);
+  const sim::Duration total =
+      report.user + report.mgmt + report.kernel + report.spin + report.idle_spin +
+      report.idle;
+  EXPECT_EQ(total, report.elapsed * 3);  // 3 processors, fully accounted
+  // 5 threads x 4 ms of computation.
+  EXPECT_EQ(report.user, sim::Msec(20));
+  EXPECT_GT(report.UserUtilization(), 0.0);
+  EXPECT_LT(report.UserUtilization(), 1.0);
+}
+
+TEST(RunReport, RendersEveryCategory) {
+  HarnessConfig config;
+  config.processors = 1;
+  Harness h(config);
+  TopazRuntime rt(&h.kernel(), "app");
+  h.AddRuntime(&rt);
+  rt.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(1)); },
+           "w");
+  h.Run();
+  const std::string text = MakeReport(h).ToString();
+  for (const char* needle :
+       {"application computation", "kernel", "spinning on locks", "idle", "elapsed"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(RunReport, WastedFractionSeesIdleSpinning) {
+  // Original FastThreads with an extra vcpu: the idle loop shows up as waste.
+  HarnessConfig config;
+  config.processors = 2;
+  Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 2;
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kKernelThreads, uc);
+  h.AddRuntime(&ft);
+  ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(10)); },
+           "only");
+  h.Run();
+  const RunReport report = MakeReport(h);
+  EXPECT_GT(report.WastedFraction(), 0.4);  // the second vcpu spun idly
+  EXPECT_GT(report.idle_spin, sim::Msec(8));
+}
+
+}  // namespace
+}  // namespace sa::rt

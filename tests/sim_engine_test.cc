@@ -1,0 +1,203 @@
+// Discrete-event engine: ordering, cancellation, clock semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/program.h"
+
+namespace sa::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(Usec(30), [&] { order.push_back(3); });
+  e.ScheduleAt(Usec(10), [&] { order.push_back(1); });
+  e.ScheduleAt(Usec(20), [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Usec(30));
+}
+
+TEST(Engine, SameTimestampIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(Usec(5), [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  Time seen = -1;
+  e.ScheduleAt(Usec(10), [&] {
+    e.ScheduleAfter(Usec(5), [&] { seen = e.now(); });
+  });
+  e.Run();
+  EXPECT_EQ(seen, Usec(15));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  EventHandle h = e.ScheduleAt(Usec(10), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());  // second cancel is a no-op
+  e.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, HandleReportsFiredState) {
+  Engine e;
+  EventHandle h = e.ScheduleAt(Usec(1), [] {});
+  e.Run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(Engine, ZeroDelayEventRunsAfterCurrentEvent) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(Usec(10), [&] {
+    order.push_back(1);
+    e.ScheduleAfter(0, [&] { order.push_back(2); });
+    order.push_back(3);  // still inside the first event
+  });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int count = 0;
+  e.ScheduleAt(Usec(10), [&] { ++count; });
+  e.ScheduleAt(Usec(20), [&] { ++count; });
+  e.ScheduleAt(Usec(30), [&] { ++count; });
+  e.RunUntil(Usec(20));
+  EXPECT_EQ(count, 2);  // inclusive boundary
+  EXPECT_EQ(e.now(), Usec(20));
+  e.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.RunUntil(Msec(5));
+  EXPECT_EQ(e.now(), Msec(5));
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.Step());
+  e.ScheduleAt(1, [] {});
+  EXPECT_TRUE(e.Step());
+  EXPECT_FALSE(e.Step());
+  EXPECT_EQ(e.events_fired(), 1u);
+}
+
+TEST(Engine, CascadedEventsRunToCompletion) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      e.ScheduleAfter(Usec(1), chain);
+    }
+  };
+  e.ScheduleAt(0, chain);
+  e.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), Usec(99));
+}
+
+TEST(Engine, MaxEventsBoundsExecution) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(i, [&] { ++count; });
+  }
+  e.Run(4);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(TimeFormat, AutoSelectsUnits) {
+  EXPECT_EQ(FormatDuration(Nsec(500)), "500ns");
+  EXPECT_EQ(FormatDuration(Usec(17)), "17.00us");
+  EXPECT_EQ(FormatDuration(Msec(2) + Usec(400)), "2.400ms");
+  EXPECT_EQ(FormatDuration(Sec(3)), "3.000s");
+  EXPECT_EQ(FormatDuration(-Usec(5)), "-5.00us");
+}
+
+TEST(TimeUnits, ConversionsAreConsistent) {
+  EXPECT_EQ(Usec(1), Nsec(1000));
+  EXPECT_EQ(Msec(1), Usec(1000));
+  EXPECT_EQ(Sec(1), Msec(1000));
+  EXPECT_DOUBLE_EQ(ToUsec(Usec(42)), 42.0);
+  EXPECT_DOUBLE_EQ(ToMsec(Msec(42)), 42.0);
+  EXPECT_DOUBLE_EQ(ToSec(Sec(42)), 42.0);
+}
+
+// Minimal checks of the coroutine plumbing outside any runtime.
+TEST(Program, BodyRunsOnlyWhenResumed) {
+  int stage = 0;
+  auto make = [&]() -> Program {
+    stage = 1;
+    co_await TrapAwait{};
+    stage = 2;
+  };
+  Program p = make();
+  EXPECT_EQ(stage, 0);  // initial_suspend: nothing ran yet
+  p.Resume();
+  EXPECT_EQ(stage, 1);
+  EXPECT_FALSE(p.done());
+  p.Resume();
+  EXPECT_EQ(stage, 2);
+  EXPECT_TRUE(p.done());
+}
+
+TEST(Program, DestroyingSuspendedProgramReleasesFrame) {
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  {
+    auto make = [&]() -> Program {
+      Sentinel s{&destroyed};
+      co_await TrapAwait{};
+      co_await TrapAwait{};
+    };
+    Program p = make();
+    p.Resume();
+    EXPECT_FALSE(destroyed);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Program, MoveTransfersOwnership) {
+  auto make = []() -> Program { co_await TrapAwait{}; };
+  Program a = make();
+  Program b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.Resume();
+  b.Resume();
+  EXPECT_TRUE(b.done());
+}
+
+}  // namespace
+}  // namespace sa::sim

@@ -1,0 +1,146 @@
+// Validates the kernel-thread (Topaz) and process (Ultrix) runtimes against
+// the paper's Table 1 latencies, plus basic scheduling behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/micro.h"
+#include "src/rt/harness.h"
+#include "src/rt/topaz_runtime.h"
+
+namespace sa {
+namespace {
+
+rt::HarnessConfig OneProcessor() {
+  rt::HarnessConfig config;
+  config.processors = 1;
+  return config;
+}
+
+TEST(TopazTable1, NullForkIs948us) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  apps::SpawnNullFork(&topaz, 2000, h.kernel().costs().procedure_call);
+  const double us = apps::MeasureNullForkUs(h, 2000);
+  EXPECT_NEAR(us, 948.0, 2.0);
+}
+
+TEST(TopazTable1, SignalWaitIs441us) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  apps::SpawnSignalWait(&topaz, 2000, /*through_kernel=*/false);
+  const double us = apps::MeasureSignalWaitUs(h, 2000);
+  EXPECT_NEAR(us, 441.0, 2.0);
+}
+
+TEST(UltrixTable1, NullForkIs11300us) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime ultrix(&h.kernel(), "proc", /*heavyweight=*/true);
+  h.AddRuntime(&ultrix);
+  apps::SpawnNullFork(&ultrix, 500, h.kernel().costs().procedure_call);
+  const double us = apps::MeasureNullForkUs(h, 500);
+  EXPECT_NEAR(us, 11300.0, 20.0);
+}
+
+TEST(UltrixTable1, SignalWaitIs1840us) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime ultrix(&h.kernel(), "proc", /*heavyweight=*/true);
+  h.AddRuntime(&ultrix);
+  apps::SpawnSignalWait(&ultrix, 500, /*through_kernel=*/false);
+  const double us = apps::MeasureSignalWaitUs(h, 500);
+  EXPECT_NEAR(us, 1840.0, 5.0);
+}
+
+TEST(TopazRuntime, ForkJoinReturnsChildTid) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  int observed_child = -1;
+  topaz.Spawn(
+      [&observed_child](rt::ThreadCtx& t) -> sim::Program {
+        const int kid = co_await t.Fork(
+            [](rt::ThreadCtx& c) -> sim::Program { co_await c.Compute(sim::Usec(5)); },
+            "kid");
+        observed_child = kid;
+        co_await t.Join(kid);
+      },
+      "parent");
+  h.Run();
+  EXPECT_EQ(observed_child, 1);
+  EXPECT_EQ(topaz.threads_finished(), 2u);
+}
+
+TEST(TopazRuntime, TwoProcessorsRunConcurrently) {
+  rt::HarnessConfig config;
+  config.processors = 2;
+  rt::Harness h(config);
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  // Two independent compute-bound threads of 100 ms each should finish in
+  // well under 200 ms of virtual time on two processors.
+  for (int i = 0; i < 2; ++i) {
+    topaz.Spawn(
+        [](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(100)); },
+        "worker");
+  }
+  const sim::Time elapsed = h.Run();
+  EXPECT_LT(sim::ToMsec(elapsed), 140.0);
+}
+
+TEST(TopazRuntime, ContendedLockBlocksInKernel) {
+  rt::HarnessConfig config;
+  config.processors = 2;
+  rt::Harness h(config);
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  const int lock = topaz.CreateLock(rt::LockKind::kSpin);
+  for (int i = 0; i < 2; ++i) {
+    topaz.Spawn(
+        [lock](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < 10; ++k) {
+            co_await t.Acquire(lock);
+            co_await t.Compute(sim::Msec(1));
+            co_await t.Release(lock);
+          }
+        },
+        "locker");
+  }
+  const auto waits_before = h.kernel().counters().kernel_waits;
+  h.Run();
+  EXPECT_GT(h.kernel().counters().kernel_waits, waits_before);
+}
+
+TEST(TopazRuntime, TimeslicingSharesOneProcessor) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  // Three compute threads on one processor; round-robin should let all
+  // finish, with timeslice preemptions recorded.
+  for (int i = 0; i < 3; ++i) {
+    topaz.Spawn(
+        [](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(300)); },
+        "spinner");
+  }
+  h.Run();
+  EXPECT_GT(h.kernel().counters().timeslices, 0);
+  EXPECT_EQ(topaz.threads_finished(), 3u);
+}
+
+TEST(TopazRuntime, IoOverlapsWithComputation) {
+  rt::Harness h(OneProcessor());
+  rt::TopazRuntime topaz(&h.kernel(), "app");
+  h.AddRuntime(&topaz);
+  // One thread blocks for 50 ms of I/O; another computes 50 ms.  On one
+  // processor the total should be ~50 ms (overlap), not ~100 ms.
+  topaz.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Io(sim::Msec(50)); },
+              "io");
+  topaz.Spawn(
+      [](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(50)); },
+      "cpu");
+  const sim::Time elapsed = h.Run();
+  EXPECT_LT(sim::ToMsec(elapsed), 60.0);
+}
+
+}  // namespace
+}  // namespace sa

@@ -1,0 +1,200 @@
+// FastThreads on both backends: the paper's Table 1 / Table 4 latencies and
+// basic user-level threading behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/micro.h"
+#include "src/rt/harness.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa {
+namespace {
+
+rt::HarnessConfig OneProc(kern::KernelMode mode) {
+  rt::HarnessConfig config;
+  config.processors = 1;
+  config.kernel.mode = mode;
+  return config;
+}
+
+ult::UltConfig OneVcpu() {
+  ult::UltConfig c;
+  c.max_vcpus = 1;
+  return c;
+}
+
+// ---- Table 1: original FastThreads (on Topaz kernel threads) ----
+
+TEST(FastThreadsTable1, NullForkIs34us) {
+  rt::Harness h(OneProc(kern::KernelMode::kNativeTopaz));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kKernelThreads, OneVcpu());
+  h.AddRuntime(&ft);
+  apps::SpawnNullFork(&ft, 2000, h.kernel().costs().procedure_call);
+  EXPECT_NEAR(apps::MeasureNullForkUs(h, 2000), 34.0, 1.0);
+}
+
+TEST(FastThreadsTable1, SignalWaitIs37us) {
+  rt::Harness h(OneProc(kern::KernelMode::kNativeTopaz));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kKernelThreads, OneVcpu());
+  h.AddRuntime(&ft);
+  apps::SpawnSignalWait(&ft, 2000, /*through_kernel=*/false);
+  EXPECT_NEAR(apps::MeasureSignalWaitUs(h, 2000), 37.0, 1.0);
+}
+
+// ---- Table 4: modified FastThreads (on scheduler activations) ----
+
+TEST(FastThreadsTable4, NullForkOnActivationsIs37us) {
+  rt::Harness h(OneProc(kern::KernelMode::kSchedulerActivations));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations,
+                     OneVcpu());
+  h.AddRuntime(&ft);
+  apps::SpawnNullFork(&ft, 20000, h.kernel().costs().procedure_call);
+  EXPECT_NEAR(apps::MeasureNullForkUs(h, 20000), 37.0, 1.0);
+}
+
+TEST(FastThreadsTable4, SignalWaitOnActivationsIs42us) {
+  rt::Harness h(OneProc(kern::KernelMode::kSchedulerActivations));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations,
+                     OneVcpu());
+  h.AddRuntime(&ft);
+  apps::SpawnSignalWait(&ft, 2000, /*through_kernel=*/false);
+  EXPECT_NEAR(apps::MeasureSignalWaitUs(h, 2000), 42.0, 1.0);
+}
+
+// ---- Section 4.3 ablation: flag-based critical sections -> 49 / 48 ----
+
+TEST(FastThreadsTable4, FlagBasedCsNullForkIs49us) {
+  rt::Harness h(OneProc(kern::KernelMode::kSchedulerActivations));
+  ult::UltConfig config = OneVcpu();
+  config.flag_based_critical_sections = true;
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations, config);
+  h.AddRuntime(&ft);
+  apps::SpawnNullFork(&ft, 20000, h.kernel().costs().procedure_call);
+  EXPECT_NEAR(apps::MeasureNullForkUs(h, 20000), 49.0, 1.0);
+}
+
+TEST(FastThreadsTable4, FlagBasedCsSignalWaitIs48us) {
+  rt::Harness h(OneProc(kern::KernelMode::kSchedulerActivations));
+  ult::UltConfig config = OneVcpu();
+  config.flag_based_critical_sections = true;
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations, config);
+  h.AddRuntime(&ft);
+  apps::SpawnSignalWait(&ft, 2000, /*through_kernel=*/false);
+  EXPECT_NEAR(apps::MeasureSignalWaitUs(h, 2000), 48.0, 1.0);
+}
+
+// ---- behaviour ----
+
+TEST(FastThreads, ForkJoinOnBothBackends) {
+  for (auto backend : {ult::BackendKind::kKernelThreads,
+                       ult::BackendKind::kSchedulerActivations}) {
+    const auto mode = backend == ult::BackendKind::kKernelThreads
+                          ? kern::KernelMode::kNativeTopaz
+                          : kern::KernelMode::kSchedulerActivations;
+    rt::Harness h(OneProc(mode));
+    ult::UltRuntime ft(&h.kernel(), "app", backend, OneVcpu());
+    h.AddRuntime(&ft);
+    int sum = 0;
+    ft.Spawn(
+        [&sum](rt::ThreadCtx& t) -> sim::Program {
+          std::vector<int> kids;
+          for (int i = 0; i < 5; ++i) {
+            kids.push_back(co_await t.Fork(
+                [&sum, i](rt::ThreadCtx& c) -> sim::Program {
+                  co_await c.Compute(sim::Usec(10));
+                  sum += i;
+                },
+                "kid"));
+          }
+          for (int k : kids) {
+            co_await t.Join(k);
+          }
+        },
+        "parent");
+    h.Run();
+    EXPECT_EQ(sum, 10) << "backend " << static_cast<int>(backend);
+    EXPECT_EQ(ft.threads_finished(), 6u);
+  }
+}
+
+TEST(FastThreads, WorkDistributesAcrossVcpus) {
+  rt::HarnessConfig config;
+  config.processors = 4;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  rt::Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 4;
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations, uc);
+  h.AddRuntime(&ft);
+  // 4 x 100 ms of computation should take ~100 ms on 4 processors.
+  ft.Spawn(
+      [](rt::ThreadCtx& t) -> sim::Program {
+        std::vector<int> kids;
+        for (int i = 0; i < 4; ++i) {
+          kids.push_back(co_await t.Fork(
+              [](rt::ThreadCtx& c) -> sim::Program { co_await c.Compute(sim::Msec(100)); },
+              "worker"));
+        }
+        for (int k : kids) {
+          co_await t.Join(k);
+        }
+      },
+      "main");
+  const sim::Time elapsed = h.Run();
+  EXPECT_LT(sim::ToMsec(elapsed), 220.0);  // main's vcpu + 3 more granted
+  EXPECT_GE(h.kernel().counters().upcalls_add_processor, 3);
+}
+
+TEST(FastThreads, UserLevelMutexDoesNotEnterKernel) {
+  rt::Harness h(OneProc(kern::KernelMode::kNativeTopaz));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kKernelThreads, OneVcpu());
+  h.AddRuntime(&ft);
+  const int m = ft.CreateLock(rt::LockKind::kMutex);
+  for (int i = 0; i < 2; ++i) {
+    ft.Spawn(
+        [m](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < 20; ++k) {
+            co_await t.Acquire(m);
+            co_await t.Compute(sim::Usec(50));
+            co_await t.Release(m);
+          }
+        },
+        "locker");
+  }
+  h.Run();
+  EXPECT_EQ(h.kernel().counters().kernel_waits, 0);
+  EXPECT_EQ(ft.threads_finished(), 2u);
+}
+
+TEST(FastThreads, IoOnKtBackendLosesTheProcessor) {
+  // Original FastThreads with one vcpu: a thread doing I/O blocks the vcpu's
+  // kernel thread, so a ready compute thread cannot run meanwhile.
+  rt::Harness h(OneProc(kern::KernelMode::kNativeTopaz));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kKernelThreads, OneVcpu());
+  h.AddRuntime(&ft);
+  ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(50)); },
+           "cpu");
+  ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Io(sim::Msec(50)); }, "io");
+  const sim::Time elapsed = h.Run();
+  // Serialized: ~100 ms (the whole point of the paper's Figure 2).
+  EXPECT_GT(sim::ToMsec(elapsed), 95.0);
+}
+
+TEST(FastThreads, IoOnSaBackendOverlapsWithComputation) {
+  // Modified FastThreads: the blocked activation's processor comes back via
+  // an upcall and runs the compute thread during the I/O.
+  rt::Harness h(OneProc(kern::KernelMode::kSchedulerActivations));
+  ult::UltRuntime ft(&h.kernel(), "app", ult::BackendKind::kSchedulerActivations,
+                     OneVcpu());
+  h.AddRuntime(&ft);
+  ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(50)); },
+           "cpu");
+  ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Io(sim::Msec(50)); }, "io");
+  const sim::Time elapsed = h.Run();
+  EXPECT_LT(sim::ToMsec(elapsed), 65.0);
+  EXPECT_GE(h.kernel().counters().upcalls_blocked, 1);
+  EXPECT_GE(h.kernel().counters().upcalls_unblocked, 1);
+}
+
+}  // namespace
+}  // namespace sa

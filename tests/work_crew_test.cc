@@ -1,0 +1,139 @@
+// Work crews (the paper's flexibility claim): a different concurrency model
+// layered on the identical thread package, on both substrates.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/work_crew.h"
+#include "src/rt/harness.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa::apps {
+namespace {
+
+TEST(WorkCrew, RunsAllTasksOnBothBackends) {
+  for (auto backend : {ult::BackendKind::kKernelThreads,
+                       ult::BackendKind::kSchedulerActivations}) {
+    rt::HarnessConfig config;
+    config.processors = 3;
+    config.kernel.mode = backend == ult::BackendKind::kSchedulerActivations
+                             ? kern::KernelMode::kSchedulerActivations
+                             : kern::KernelMode::kNativeTopaz;
+    rt::Harness h(config);
+    ult::UltConfig uc;
+    uc.max_vcpus = 3;
+    ult::UltRuntime ft(&h.kernel(), "crew-app", backend, uc);
+    h.AddRuntime(&ft);
+
+    WorkCrew crew(&ft, /*workers=*/3);
+    int sum = 0;
+    for (int i = 1; i <= 30; ++i) {
+      crew.Submit([&sum, i](rt::ThreadCtx& t) -> sim::Program {
+        co_await t.Compute(sim::Usec(200));
+        sum += i;
+      });
+    }
+    crew.Finish();
+    h.Run();
+    EXPECT_EQ(crew.tasks_completed(), 30);
+    EXPECT_EQ(sum, 465);
+    // The crew model forks no thread per task: only the 3 workers exist.
+    EXPECT_EQ(ft.threads_created(), 3u);
+  }
+}
+
+TEST(WorkCrew, TasksMayBlockInTheKernel) {
+  rt::HarnessConfig config;
+  config.processors = 2;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  config.kernel.tuned_upcalls = true;
+  rt::Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 2;
+  ult::UltRuntime ft(&h.kernel(), "crew-app", ult::BackendKind::kSchedulerActivations,
+                     uc);
+  h.AddRuntime(&ft);
+
+  WorkCrew crew(&ft, /*workers=*/2);
+  for (int i = 0; i < 6; ++i) {
+    crew.Submit([](rt::ThreadCtx& t) -> sim::Program {
+      co_await t.Compute(sim::Usec(500));
+      co_await t.Io(sim::Msec(2));
+      co_await t.Compute(sim::Usec(500));
+    });
+  }
+  crew.Finish();
+  const sim::Time elapsed = h.Run();
+  EXPECT_EQ(crew.tasks_completed(), 6);
+  // Crew workers blocked in the kernel still free their processors on the
+  // scheduler-activation substrate (the upcalls prove it).
+  EXPECT_GE(h.kernel().counters().upcalls_blocked, 4);
+  EXPECT_LT(sim::ToMsec(elapsed), 16.0);
+}
+
+TEST(WorkCrew, TasksCanSubmitMoreWork) {
+  rt::HarnessConfig config;
+  config.processors = 2;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  rt::Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 2;
+  ult::UltRuntime ft(&h.kernel(), "crew-app", ult::BackendKind::kSchedulerActivations,
+                     uc);
+  h.AddRuntime(&ft);
+
+  WorkCrew crew(&ft, /*workers=*/2);
+  int leaves = 0;
+  // Each seed task spawns three leaf tasks; a follower task signals the
+  // availability of the new work (dynamic submission protocol).
+  auto leaf = [&leaves](rt::ThreadCtx& t) -> sim::Program {
+    co_await t.Compute(sim::Usec(100));
+    ++leaves;
+  };
+  for (int i = 0; i < 2; ++i) {
+    crew.Submit([&crew, leaf](rt::ThreadCtx& t) -> sim::Program {
+      for (int k = 0; k < 3; ++k) {
+        crew.Submit(leaf);
+        co_await t.Signal(crew.work_available());
+      }
+    });
+  }
+  crew.Finish();
+  h.Run();
+  EXPECT_EQ(leaves, 6);
+  EXPECT_EQ(crew.tasks_completed(), 8);
+}
+
+TEST(NestedStep, SubProgramSharesTheThreadContext) {
+  // A nested program's traps are interpreted exactly like the outer body's.
+  rt::HarnessConfig config;
+  config.processors = 1;
+  rt::Harness h(config);
+  ult::UltConfig uc;
+  uc.max_vcpus = 1;
+  ult::UltRuntime ft(&h.kernel(), "nested", ult::BackendKind::kKernelThreads, uc);
+  h.AddRuntime(&ft);
+  std::vector<int> order;
+  auto inner = [&order](rt::ThreadCtx& t) -> sim::Program {
+    order.push_back(1);
+    co_await t.Compute(sim::Usec(100));
+    order.push_back(2);
+    co_await t.Io(sim::Usec(500));
+    order.push_back(3);
+  };
+  ft.Spawn(
+      [&order, inner](rt::ThreadCtx& t) -> sim::Program {
+        order.push_back(0);
+        sim::Program sub = inner(t);
+        while (!sub.done()) {
+          co_await sim::NestedStep{&sub};
+        }
+        order.push_back(4);
+        co_await t.Compute(sim::Usec(50));
+      },
+      "outer");
+  h.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace sa::apps
