@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fibers_native.dir/bench_fibers_native.cc.o"
+  "CMakeFiles/bench_fibers_native.dir/bench_fibers_native.cc.o.d"
+  "bench_fibers_native"
+  "bench_fibers_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fibers_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upcall.dir/bench_upcall.cc.o"
+  "CMakeFiles/bench_upcall.dir/bench_upcall.cc.o.d"
+  "bench_upcall"
+  "bench_upcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

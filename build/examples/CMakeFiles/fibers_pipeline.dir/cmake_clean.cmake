@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibers_pipeline.dir/fibers_pipeline.cpp.o"
+  "CMakeFiles/fibers_pipeline.dir/fibers_pipeline.cpp.o.d"
+  "fibers_pipeline"
+  "fibers_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibers_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiprogramming.
+# This may be replaced when dependencies are built.

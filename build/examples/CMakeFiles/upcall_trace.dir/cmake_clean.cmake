@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upcall_trace.dir/upcall_trace.cpp.o"
+  "CMakeFiles/upcall_trace.dir/upcall_trace.cpp.o.d"
+  "upcall_trace"
+  "upcall_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upcall_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_apps.dir/experiments.cc.o"
+  "CMakeFiles/sa_apps.dir/experiments.cc.o.d"
+  "CMakeFiles/sa_apps.dir/micro.cc.o"
+  "CMakeFiles/sa_apps.dir/micro.cc.o.d"
+  "CMakeFiles/sa_apps.dir/nbody.cc.o"
+  "CMakeFiles/sa_apps.dir/nbody.cc.o.d"
+  "CMakeFiles/sa_apps.dir/nbody_workload.cc.o"
+  "CMakeFiles/sa_apps.dir/nbody_workload.cc.o.d"
+  "CMakeFiles/sa_apps.dir/synthetic.cc.o"
+  "CMakeFiles/sa_apps.dir/synthetic.cc.o.d"
+  "CMakeFiles/sa_apps.dir/work_crew.cc.o"
+  "CMakeFiles/sa_apps.dir/work_crew.cc.o.d"
+  "libsa_apps.a"
+  "libsa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

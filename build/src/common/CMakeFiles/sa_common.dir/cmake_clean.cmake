@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_common.dir/log.cc.o"
+  "CMakeFiles/sa_common.dir/log.cc.o.d"
+  "CMakeFiles/sa_common.dir/table.cc.o"
+  "CMakeFiles/sa_common.dir/table.cc.o.d"
+  "libsa_common.a"
+  "libsa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

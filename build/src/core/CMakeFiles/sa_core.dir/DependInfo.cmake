@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/sa_space.cc" "src/core/CMakeFiles/sa_core.dir/sa_space.cc.o" "gcc" "src/core/CMakeFiles/sa_core.dir/sa_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/sa_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sa_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

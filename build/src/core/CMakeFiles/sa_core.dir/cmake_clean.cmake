@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_core.dir/sa_space.cc.o"
+  "CMakeFiles/sa_core.dir/sa_space.cc.o.d"
+  "libsa_core.a"
+  "libsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

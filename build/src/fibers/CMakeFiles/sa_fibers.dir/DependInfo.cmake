@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/fibers/context_x86_64.S" "/root/repo/build/src/fibers/CMakeFiles/sa_fibers.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fibers/context.cc" "src/fibers/CMakeFiles/sa_fibers.dir/context.cc.o" "gcc" "src/fibers/CMakeFiles/sa_fibers.dir/context.cc.o.d"
+  "/root/repo/src/fibers/fiber_pool.cc" "src/fibers/CMakeFiles/sa_fibers.dir/fiber_pool.cc.o" "gcc" "src/fibers/CMakeFiles/sa_fibers.dir/fiber_pool.cc.o.d"
+  "/root/repo/src/fibers/sync.cc" "src/fibers/CMakeFiles/sa_fibers.dir/sync.cc.o" "gcc" "src/fibers/CMakeFiles/sa_fibers.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_fibers.dir/context.cc.o"
+  "CMakeFiles/sa_fibers.dir/context.cc.o.d"
+  "CMakeFiles/sa_fibers.dir/context_x86_64.S.o"
+  "CMakeFiles/sa_fibers.dir/fiber_pool.cc.o"
+  "CMakeFiles/sa_fibers.dir/fiber_pool.cc.o.d"
+  "CMakeFiles/sa_fibers.dir/sync.cc.o"
+  "CMakeFiles/sa_fibers.dir/sync.cc.o.d"
+  "libsa_fibers.a"
+  "libsa_fibers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/sa_fibers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_hw.dir/machine.cc.o"
+  "CMakeFiles/sa_hw.dir/machine.cc.o.d"
+  "CMakeFiles/sa_hw.dir/processor.cc.o"
+  "CMakeFiles/sa_hw.dir/processor.cc.o.d"
+  "libsa_hw.a"
+  "libsa_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_kern.dir/kernel.cc.o"
+  "CMakeFiles/sa_kern.dir/kernel.cc.o.d"
+  "CMakeFiles/sa_kern.dir/kthread.cc.o"
+  "CMakeFiles/sa_kern.dir/kthread.cc.o.d"
+  "CMakeFiles/sa_kern.dir/proc_alloc.cc.o"
+  "CMakeFiles/sa_kern.dir/proc_alloc.cc.o.d"
+  "libsa_kern.a"
+  "libsa_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

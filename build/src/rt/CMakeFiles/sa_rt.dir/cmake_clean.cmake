@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_rt.dir/harness.cc.o"
+  "CMakeFiles/sa_rt.dir/harness.cc.o.d"
+  "CMakeFiles/sa_rt.dir/report.cc.o"
+  "CMakeFiles/sa_rt.dir/report.cc.o.d"
+  "CMakeFiles/sa_rt.dir/topaz_runtime.cc.o"
+  "CMakeFiles/sa_rt.dir/topaz_runtime.cc.o.d"
+  "libsa_rt.a"
+  "libsa_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_sim.dir/engine.cc.o"
+  "CMakeFiles/sa_sim.dir/engine.cc.o.d"
+  "libsa_sim.a"
+  "libsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

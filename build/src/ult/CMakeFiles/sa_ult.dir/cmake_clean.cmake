@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_ult.dir/fast_threads.cc.o"
+  "CMakeFiles/sa_ult.dir/fast_threads.cc.o.d"
+  "CMakeFiles/sa_ult.dir/kt_backend.cc.o"
+  "CMakeFiles/sa_ult.dir/kt_backend.cc.o.d"
+  "CMakeFiles/sa_ult.dir/sa_backend.cc.o"
+  "CMakeFiles/sa_ult.dir/sa_backend.cc.o.d"
+  "CMakeFiles/sa_ult.dir/ult_runtime.cc.o"
+  "CMakeFiles/sa_ult.dir/ult_runtime.cc.o.d"
+  "libsa_ult.a"
+  "libsa_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_sync_test.dir/fiber_sync_test.cc.o"
+  "CMakeFiles/fiber_sync_test.dir/fiber_sync_test.cc.o.d"
+  "fiber_sync_test"
+  "fiber_sync_test.pdb"
+  "fiber_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibers_stress_test.dir/fibers_stress_test.cc.o"
+  "CMakeFiles/fibers_stress_test.dir/fibers_stress_test.cc.o.d"
+  "fibers_stress_test"
+  "fibers_stress_test.pdb"
+  "fibers_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibers_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

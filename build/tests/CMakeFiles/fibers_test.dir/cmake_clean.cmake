@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibers_test.dir/fibers_test.cc.o"
+  "CMakeFiles/fibers_test.dir/fibers_test.cc.o.d"
+  "fibers_test"
+  "fibers_test.pdb"
+  "fibers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

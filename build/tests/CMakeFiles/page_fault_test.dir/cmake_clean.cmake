@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_fault_test.dir/page_fault_test.cc.o"
+  "CMakeFiles/page_fault_test.dir/page_fault_test.cc.o.d"
+  "page_fault_test"
+  "page_fault_test.pdb"
+  "page_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

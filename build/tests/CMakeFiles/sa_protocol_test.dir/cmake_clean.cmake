@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_protocol_test.dir/sa_protocol_test.cc.o"
+  "CMakeFiles/sa_protocol_test.dir/sa_protocol_test.cc.o.d"
+  "sa_protocol_test"
+  "sa_protocol_test.pdb"
+  "sa_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_space_test.dir/sa_space_test.cc.o"
+  "CMakeFiles/sa_space_test.dir/sa_space_test.cc.o.d"
+  "sa_space_test"
+  "sa_space_test.pdb"
+  "sa_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topaz_runtime_test.dir/topaz_runtime_test.cc.o"
+  "CMakeFiles/topaz_runtime_test.dir/topaz_runtime_test.cc.o.d"
+  "topaz_runtime_test"
+  "topaz_runtime_test.pdb"
+  "topaz_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topaz_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

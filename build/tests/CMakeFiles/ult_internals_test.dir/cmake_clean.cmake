@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ult_internals_test.dir/ult_internals_test.cc.o"
+  "CMakeFiles/ult_internals_test.dir/ult_internals_test.cc.o.d"
+  "ult_internals_test"
+  "ult_internals_test.pdb"
+  "ult_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ult_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

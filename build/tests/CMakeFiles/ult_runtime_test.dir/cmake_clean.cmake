@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ult_runtime_test.dir/ult_runtime_test.cc.o"
+  "CMakeFiles/ult_runtime_test.dir/ult_runtime_test.cc.o.d"
+  "ult_runtime_test"
+  "ult_runtime_test.pdb"
+  "ult_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ult_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

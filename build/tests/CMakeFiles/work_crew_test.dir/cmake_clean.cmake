@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_crew_test.dir/work_crew_test.cc.o"
+  "CMakeFiles/work_crew_test.dir/work_crew_test.cc.o.d"
+  "work_crew_test"
+  "work_crew_test.pdb"
+  "work_crew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_crew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

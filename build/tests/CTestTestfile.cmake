@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/topaz_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/ult_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/sa_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/fibers_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/processor_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/nbody_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_test[1]_include.cmake")
+include("/root/repo/build/tests/ult_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/page_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/fiber_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sa_space_test[1]_include.cmake")
+include("/root/repo/build/tests/work_crew_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/fibers_stress_test[1]_include.cmake")
