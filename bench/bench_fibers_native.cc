@@ -134,6 +134,110 @@ void BM_ContextSwitchPair_Fiber(benchmark::State& state) {
 }
 BENCHMARK(BM_ContextSwitchPair_Fiber);
 
+// ---- Multi-worker scaling sweep (Section 4.2 structure) --------------------
+//
+// The paper's FastThreads scales because each processor owns its ready list
+// and free list; cross-processor traffic happens only when a local list runs
+// dry.  These sweeps measure the three fiber hot paths at 1/2/4/8 workers so
+// the per-worker scheduler's effect is measured, not asserted.  All sweeps
+// use real time: the work runs on pool workers, not the bench thread.
+
+void ReportSchedCounters(benchmark::State& state,
+                         const sa::fibers::FiberPool& pool) {
+  const auto s = pool.stats();
+  state.counters["local_pops"] =
+      benchmark::Counter(static_cast<double>(s.local_pops));
+  state.counters["overflow_pops"] =
+      benchmark::Counter(static_cast<double>(s.overflow_pops));
+  state.counters["steals"] = benchmark::Counter(static_cast<double>(s.steals));
+  state.counters["parks"] = benchmark::Counter(static_cast<double>(s.parks));
+}
+
+// Spawn-join: a driver fiber forks a batch of null fibers and joins them all
+// (fiber-to-fiber join, so the spawn/recycle path stays on the workers).
+void BM_MultiSpawnJoin(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  sa::fibers::FiberPool pool(workers);
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    auto driver = pool.Spawn([&] {
+      std::vector<sa::fibers::FiberHandle> hs;
+      hs.reserve(kBatch);
+      sa::fibers::FiberPool* p = sa::fibers::FiberPool::Current();
+      for (int i = 0; i < kBatch; ++i) {
+        hs.push_back(p->Spawn([] { NullProcedure(); }));
+      }
+      for (auto& h : hs) {
+        p->Join(h);
+      }
+    });
+    pool.Join(driver);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  ReportSchedCounters(state, pool);
+}
+BENCHMARK(BM_MultiSpawnJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Yield ping-pong: two yield-looping fibers per worker; measures the
+// scheduler's dispatch loop under full subscription.
+void BM_MultiYield(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  sa::fibers::FiberPool pool(workers);
+  constexpr int kYields = 512;
+  for (auto _ : state) {
+    std::vector<sa::fibers::FiberHandle> hs;
+    for (int f = 0; f < 2 * workers; ++f) {
+      hs.push_back(pool.Spawn([] {
+        for (int i = 0; i < kYields; ++i) {
+          sa::fibers::FiberPool::Yield();
+        }
+      }));
+    }
+    for (auto& h : hs) {
+      pool.Join(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * workers * kYields);
+  ReportSchedCounters(state, pool);
+}
+BENCHMARK(BM_MultiYield)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Semaphore signal-wait: one ping-pong pair per worker, each pair on its own
+// pair of semaphores (blocking sync + cross-fiber wake under load).
+void BM_MultiSemSignalWait(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  sa::fibers::FiberPool pool(workers);
+  constexpr int kRounds = 256;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<sa::fibers::FiberSemaphore>> sems;
+    std::vector<sa::fibers::FiberHandle> hs;
+    for (int p = 0; p < workers; ++p) {
+      sems.push_back(std::make_unique<sa::fibers::FiberSemaphore>(0));
+      sems.push_back(std::make_unique<sa::fibers::FiberSemaphore>(0));
+      sa::fibers::FiberSemaphore* ping = sems[sems.size() - 2].get();
+      sa::fibers::FiberSemaphore* pong = sems[sems.size() - 1].get();
+      hs.push_back(pool.Spawn([ping, pong] {
+        for (int i = 0; i < kRounds; ++i) {
+          ping->Wait();
+          pong->Post();
+        }
+      }));
+      hs.push_back(pool.Spawn([ping, pong] {
+        for (int i = 0; i < kRounds; ++i) {
+          ping->Post();
+          pong->Wait();
+        }
+      }));
+    }
+    for (auto& h : hs) {
+      pool.Join(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kRounds);
+  ReportSchedCounters(state, pool);
+}
+BENCHMARK(BM_MultiSemSignalWait)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

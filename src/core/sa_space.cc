@@ -215,7 +215,7 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
     if (!upcall_fault_pending_) {
       upcall_fault_pending_ = true;
       ++kernel_->counters().upcall_page_fault_delays;
-      kernel_->engine().ScheduleAfter(kernel_->costs().disk_latency, [this, proc] {
+      kernel_->engine().ScheduleIn(kernel_->costs().disk_latency, [this, proc] {
         upcall_fault_pending_ = false;
         as_->vm().MakeResident(kern::VmSpace::kUpcallEntryPage);
         if (as_->IsAssigned(proc) && !proc->has_span() &&

@@ -7,11 +7,18 @@
 // to two orders of magnitude less than kernel threads (std::thread) and
 // three to four less than processes (fork) — see bench_fibers_native.
 //
-// Design follows the same shape as the simulated FastThreads: a run queue of
-// ready fibers, blocking synchronization that never enters the kernel, and
-// per-pool recycled stacks.  (It deliberately does NOT get scheduler
-// activations: that requires the kernel support this repository simulates —
-// the point of the paper.)
+// Design follows the same shape as the simulated FastThreads (paper
+// Section 4.2): each worker owns a lock-free ready deque
+// (src/fibers/work_stealing_deque.h) that it pushes and pops without
+// synchronization in the common case, plus an unlocked free list of recycled
+// fiber stacks; a worker touches shared state only when its own deque runs
+// dry — first a global overflow queue (fed by non-worker threads), then by
+// stealing from other workers in random order, and finally by parking on a
+// per-worker condition variable until a PushRunnable wakes exactly one
+// parked worker.  The pool-wide mutex survives only for external joins, the
+// overflow queue, fiber-slab allocation and shutdown.  (It deliberately does
+// NOT get scheduler activations: that requires the kernel support this
+// repository simulates — the point of the paper.)
 
 #ifndef SA_FIBERS_FIBER_POOL_H_
 #define SA_FIBERS_FIBER_POOL_H_
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "src/fibers/context.h"
+#include "src/fibers/spinlock.h"
 
 namespace sa::fibers {
 
@@ -39,11 +47,26 @@ struct Fiber {
   size_t stack_size = 0;
   ContextSp sp = nullptr;
   std::function<void()> fn;
-  bool done = false;
-  std::vector<Fiber*> joiners;  // fibers blocked in Join on this fiber
   FiberPool* pool = nullptr;
-  uint64_t generation = 0;  // guards handles across recycling
+
+  // Join state.  join_mu is per-fiber so the join/completion handshake never
+  // touches the pool-wide mutex; done and generation are atomic because a
+  // stale handle may probe them while the spawn path recycles the fiber.
+  // A SpinLock (not std::mutex) because Join holds it across the switch to
+  // the scheduler stack — see spinlock.h.
+  SpinLock join_mu;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> generation{0};  // guards handles across recycling
+  Fiber* joiners_head = nullptr;  // fibers blocked in Join; guarded by join_mu
+  Fiber* next_joiner = nullptr;   // intrusive link in another fiber's joiners
+  std::atomic<int> ext_waiters{0};  // external threads blocked in Join on us
+
+  bool exiting = false;       // set just before the final switch-out
+  void* tsan_fiber = nullptr;  // ThreadSanitizer fiber context (if enabled)
+  void* asan_fake_stack = nullptr;  // AddressSanitizer fake-stack save slot
 };
+
+struct WorkerState;  // per-kernel-thread scheduler state (fiber_pool.cc)
 
 }  // namespace internal
 
@@ -60,6 +83,16 @@ class FiberHandle {
   uint64_t generation_ = 0;
 };
 
+// Aggregated scheduler counters (summed across workers); see stats().
+struct FiberPoolStats {
+  uint64_t local_pops = 0;     // fibers taken from the owner's own deque
+  uint64_t overflow_pops = 0;  // fibers taken from the global overflow queue
+  uint64_t steals = 0;         // fibers stolen from another worker's deque
+  uint64_t steal_attempts = 0;  // victim deques probed (hit or miss)
+  uint64_t parks = 0;          // times a worker blocked with nothing to run
+  uint64_t wakeups = 0;        // parked workers woken by PushRunnable
+};
+
 class FiberPool {
  public:
   // Starts `workers` kernel threads.  stack_size is per fiber.
@@ -68,7 +101,9 @@ class FiberPool {
   FiberPool(const FiberPool&) = delete;
   FiberPool& operator=(const FiberPool&) = delete;
 
-  // Creates a fiber; it becomes runnable immediately.
+  // Creates a fiber; it becomes runnable immediately.  When called from a
+  // fiber, the child lands in the calling worker's own deque and free fibers
+  // are recycled from the worker's local list without locks.
   FiberHandle Spawn(std::function<void()> fn);
 
   // Waits until the fiber finishes.  Callable from a fiber (blocks the
@@ -88,37 +123,83 @@ class FiberPool {
   static internal::Fiber* CurrentFiber();
 
   // Makes a blocked fiber runnable again (synchronization primitives only).
+  // Callable from any thread, including non-worker threads.
   void WakeFiber(internal::Fiber* fiber) { PushRunnable(fiber); }
 
   // Switches from the current fiber back to the worker's scheduler context;
-  // `post` runs on the scheduler stack after the switch (so a fiber can
-  // safely publish itself to a wait queue it is no longer running on).
-  void SwitchOut(std::function<void()> post);
+  // `post(a, b)` runs on the scheduler stack after the switch (so a fiber
+  // can safely publish itself to a wait queue it is no longer running on).
+  // A raw function pointer, not std::function: this sits on the
+  // context-switch hot path and no post action needs more than two pointers.
+  using PostFn = void (*)(void* a, void* b);
+  void SwitchOut(PostFn post, void* a, void* b);
 
-  // Number of user-level context switches performed so far.
-  uint64_t switches() const { return switches_.load(std::memory_order_relaxed); }
+  // The ubiquitous post action: release `lock` once off the fiber's stack.
+  // Takes the fiber library's SpinLock: a pthread mutex must not be
+  // released from a different (TSan-logical) thread than locked it.
+  void SwitchOutUnlock(SpinLock* lock);
+
+  // Number of user-level context switches performed so far (summed across
+  // workers; each worker counts its own switches without atomic RMWs).
+  uint64_t switches() const;
+
+  // Scheduler counters summed across workers (monotonic over the pool's life).
+  FiberPoolStats stats() const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
 
  private:
   friend class FiberMutex;
   friend class FiberSemaphore;
+  friend struct internal::WorkerState;  // names the private Worker type
   struct Worker;
   static void FiberMain(void* arg);
 
   void WorkerLoop(int index);
-  internal::Fiber* PopRunnable();
+
+  // Dispatch: local deque first, then overflow, then stealing, then park.
+  internal::Fiber* PopRunnable(Worker* w);
+  internal::Fiber* PopOverflow(Worker* w);
+  internal::Fiber* TrySteal(Worker* w);
+  bool AnyWorkVisible(const Worker* w) const;
+  void ParkWorker(Worker* w);
+  void WakeOne();
   void PushRunnable(internal::Fiber* fiber);
 
+  // Fiber recycling: per-worker free lists with a global overflow.
+  internal::Fiber* AllocFiber();
+  void RecycleFiber(internal::Fiber* fiber);
+
   const size_t stack_size_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;    // workers waiting for runnable fibers
-  std::condition_variable joiner_cv_;  // external threads waiting in Join
-  std::deque<internal::Fiber*> run_queue_;
-  std::vector<internal::Fiber*> free_fibers_;
-  std::vector<std::unique_ptr<internal::Fiber>> all_fibers_;
-  bool stopping_ = false;
-  size_t live_fibers_ = 0;
-  std::atomic<uint64_t> switches_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> num_parked_{0};
+  // Workers woken from the parking lot that have not yet found work.  At
+  // most one wake is in flight at a time (Go-style): wakers skip WakeOne
+  // while a searcher exists, and a searcher that finds work wakes the next
+  // worker itself if more work is visible.
+  std::atomic<int> num_searching_{0};
+  // Spin-scan rounds (with a sched_yield between them) before parking.
+  int spin_rounds_ = 0;
+  // On multi-CPU hosts, worker-local pushes wake a parked worker whenever
+  // one exists (parallel drain).  On a single CPU that wake buys nothing —
+  // the pusher itself will dispatch the work — so local pushes only wake
+  // when every worker is parked; the timed park covers redistribution if a
+  // worker ever blocks in a real syscall.
+  bool wake_eagerly_ = true;
+  std::atomic<size_t> overflow_size_{0};
+  // Fibers spawned from non-worker threads; worker-side spawns and all
+  // completions are tracked in per-worker deltas (summed at destruction).
+  std::atomic<int64_t> live_external_{0};
+
+  // Cold state: external joins, overflow run queue, fiber-slab ownership.
+  std::mutex mu_;
+  std::condition_variable joiner_cv_;  // external threads waiting in Join
+  std::deque<internal::Fiber*> overflow_;       // guarded by mu_
+  std::vector<internal::Fiber*> global_free_;   // guarded by mu_
+  std::vector<std::unique_ptr<internal::Fiber>> all_fibers_;  // guarded by mu_
 };
 
 // Mutex that blocks the *fiber* (the worker thread keeps running other
@@ -129,13 +210,14 @@ class FiberMutex {
   void Unlock();
 
  private:
-  std::mutex mu_;  // protects the tiny state below (never held across switch)
+  SpinLock mu_;  // protects the tiny state below
   internal::Fiber* owner_ = nullptr;
   std::deque<internal::Fiber*> waiters_;
 };
 
 // Counting semaphore with fiber-blocking semantics (condition with memory —
-// the same primitive the simulated benchmarks use for Signal-Wait).
+// the same primitive the simulated benchmarks use for Signal-Wait).  Wait
+// must be called from a fiber; Post may be called from any thread.
 class FiberSemaphore {
  public:
   explicit FiberSemaphore(int initial = 0) : count_(initial) {}
@@ -143,7 +225,7 @@ class FiberSemaphore {
   void Wait();
 
  private:
-  std::mutex mu_;
+  SpinLock mu_;
   int count_;
   std::deque<internal::Fiber*> waiters_;
 };

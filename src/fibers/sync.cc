@@ -9,7 +9,7 @@ FiberBarrier::FiberBarrier(int parties) : parties_(parties) {
 bool FiberBarrier::Arrive() {
   FiberPool* pool = FiberPool::Current();
   SA_CHECK_MSG(pool != nullptr, "Arrive outside a fiber");
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<SpinLock> lock(mu_);
   if (++arrived_ == parties_) {
     // Trip: release everyone and start the next generation.
     arrived_ = 0;
@@ -24,7 +24,7 @@ bool FiberBarrier::Arrive() {
   }
   waiters_.push_back(FiberPool::CurrentFiber());
   lock.release();
-  pool->SwitchOut([this] { mu_.unlock(); });
+  pool->SwitchOutUnlock(&mu_);
   return false;
 }
 

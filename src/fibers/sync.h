@@ -1,8 +1,8 @@
 // Higher-level fiber synchronization: barriers and bounded channels.
 //
 // Everything blocks the *fiber*, never the worker thread; the pattern
-// throughout is: take the small internal std::mutex, decide, register on a
-// wait queue, and release the mutex from the scheduler stack after switching
+// throughout is: take the small internal SpinLock, decide, register on a
+// wait queue, and release the lock from the scheduler stack after switching
 // out (FiberPool::SwitchOut's post action) so no wakeup can race with a
 // fiber whose registers are still live.
 
@@ -28,7 +28,7 @@ class FiberBarrier {
   bool Arrive();
 
  private:
-  std::mutex mu_;
+  SpinLock mu_;
   const int parties_;
   int arrived_ = 0;
   uint64_t generation_ = 0;
@@ -50,7 +50,7 @@ class FiberChannel {
     FiberPool* pool = FiberPool::Current();
     SA_CHECK_MSG(pool != nullptr, "Send outside a fiber");
     for (;;) {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<SpinLock> lock(mu_);
       SA_CHECK_MSG(!closed_, "send on a closed channel");
       if (buffer_.size() < capacity_) {
         buffer_.push_back(std::move(value));
@@ -59,7 +59,7 @@ class FiberChannel {
       }
       senders_.push_back(pool->CurrentFiber());
       lock.release();
-      pool->SwitchOut([this] { mu_.unlock(); });
+      pool->SwitchOutUnlock(&mu_);
       // Re-check from the top (another sender may have raced us in).
     }
   }
@@ -68,7 +68,7 @@ class FiberChannel {
     FiberPool* pool = FiberPool::Current();
     SA_CHECK_MSG(pool != nullptr, "Receive outside a fiber");
     for (;;) {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<SpinLock> lock(mu_);
       if (!buffer_.empty()) {
         T value = std::move(buffer_.front());
         buffer_.pop_front();
@@ -80,7 +80,7 @@ class FiberChannel {
       }
       receivers_.push_back(pool->CurrentFiber());
       lock.release();
-      pool->SwitchOut([this] { mu_.unlock(); });
+      pool->SwitchOutUnlock(&mu_);
     }
   }
 
@@ -89,7 +89,7 @@ class FiberChannel {
     SA_CHECK_MSG(pool != nullptr, "Close outside a fiber");
     std::deque<internal::Fiber*> wake;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<SpinLock> lock(mu_);
       closed_ = true;
       wake.swap(receivers_);
     }
@@ -99,7 +99,7 @@ class FiberChannel {
   }
 
   size_t size() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<SpinLock> lock(mu_);
     return buffer_.size();
   }
 
@@ -113,7 +113,7 @@ class FiberChannel {
     }
   }
 
-  std::mutex mu_;
+  SpinLock mu_;
   const size_t capacity_;
   std::deque<T> buffer_;
   bool closed_ = false;

@@ -1,0 +1,180 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), with the C11
+// memory-order discipline from Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013).
+//
+// This is the per-worker ready list of the native fiber scheduler — the
+// analogue of FastThreads' per-processor lockless ready lists (paper
+// Section 4.2).  One owner thread pushes and pops at the *bottom* (LIFO, so
+// freshly spawned work runs cache-hot); any number of thief threads steal
+// from the *top* (FIFO, so thieves take the oldest — and likely largest —
+// work).  No locks anywhere; the only sequentially consistent operations sit
+// on the owner-pop and steal paths that race for the last remaining item.
+//
+// The circular buffer grows geometrically when full.  Retired buffers are
+// kept alive until the deque is destroyed: a thief that loaded the old
+// buffer pointer may still read a cell from it, and because a buffer is
+// retired the moment it fills, those cells are never overwritten.  The cells
+// themselves are std::atomic<T>, which both satisfies the model (a cell
+// store can race with a thief's speculative load) and keeps ThreadSanitizer
+// precise about the remaining orderings.
+
+#ifndef SA_FIBERS_WORK_STEALING_DEQUE_H_
+#define SA_FIBERS_WORK_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace sa::fibers {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cells are copied through std::atomic<T>");
+
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 256)
+      : buffer_(new Buffer(initial_capacity)) {
+    SA_CHECK((initial_capacity & (initial_capacity - 1)) == 0);
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  ~WorkStealingDeque() = default;
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only: pushes at the bottom.  Grows when full (amortized O(1)).
+  void Push(T value) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->capacity)) {
+      buf = Grow(b, t);
+    }
+    buf->Put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only: pops the most recently pushed item (LIFO).  Returns false
+  // when empty.  The seqcst fence orders the bottom reservation against
+  // thieves' top reads when exactly one item remains.
+  bool Pop(T* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    T value = buf->Get(b);
+    if (t == b) {
+      // Last item: race the thieves for it by advancing top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    *out = value;
+    return true;
+  }
+
+  // Owner only: takes the *oldest* item (FIFO, like a thief) — the owner's
+  // dispatch order while thieves race it for the top.  Cheaper than Steal:
+  // the owner's own bottom_ is always exact and it cannot race its own
+  // Push/Pop, so no StoreLoad fence is needed — only the top CAS, which
+  // serializes against real thieves (the loser discards its read).
+  bool PopTop(T* out) {
+    int64_t t = top_.load(std::memory_order_acquire);
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    if (t >= b) {
+      return false;  // empty
+    }
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    T value = buf->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // a thief won the race
+    }
+    *out = value;
+    return true;
+  }
+
+  // Any thread: steals the oldest item (FIFO).  Returns false when empty or
+  // when another thief (or the owner, on the last item) won the race.
+  bool Steal(T* out) {
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) {
+      return false;  // empty
+    }
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T value = buf->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race
+    }
+    *out = value;
+    return true;
+  }
+
+  // Any thread: approximate occupancy (exact for the quiescent owner).
+  size_t SizeApprox() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    // Release/acquire on the cells themselves (free on x86-64: both are a
+    // plain mov).  The owner's writes *before* Push then reach a thief
+    // directly through the stolen cell, without leaning on the thread
+    // fences — which ThreadSanitizer does not model (GCC's -Wtsan), so the
+    // fence-only discipline reads as false races under TSan.
+    T Get(int64_t i) const {
+      return cells[static_cast<size_t>(i) & mask].load(std::memory_order_acquire);
+    }
+    void Put(int64_t i, T v) {
+      cells[static_cast<size_t>(i) & mask].store(v, std::memory_order_release);
+    }
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  // Owner only (called from Push with the buffer full).
+  Buffer* Grow(int64_t b, int64_t t) {
+    Buffer* old = buffer_.load(std::memory_order_relaxed);
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) {
+      bigger->Put(i, old->Get(i));
+    }
+    retired_.emplace_back(bigger);
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only; freed at dtor
+};
+
+}  // namespace sa::fibers
+
+#endif  // SA_FIBERS_WORK_STEALING_DEQUE_H_

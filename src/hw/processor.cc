@@ -89,13 +89,22 @@ void Processor::BeginSpan(sim::Duration d, SpanMode mode, bool preemptible,
   span_start_ = engine_->now();
   span_duration_ = d;
   on_complete_ = std::move(on_complete);
-  completion_ = engine_->ScheduleAfter(d, [this] {
+  const auto complete = [this] {
     AccumulateTo(engine_->now());
     span_active_ = false;
     std::function<void()> fn = std::move(on_complete_);
     on_complete_ = nullptr;
     fn();
-  });
+  };
+  if (preemptible) {
+    completion_ = engine_->ScheduleAfter(d, complete);
+  } else {
+    // Non-preemptible spans are never cancelled (RequestInterrupt latches
+    // instead), so the completion needs no handle.  This covers every
+    // management charge — the simulator's hottest event source.
+    completion_.Reset();
+    engine_->ScheduleIn(d, complete);
+  }
 }
 
 void Processor::BeginOpenSpan(SpanMode mode) {

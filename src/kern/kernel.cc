@@ -240,7 +240,7 @@ void Kernel::ArmQuantum(hw::Processor* proc, KThread* kt) {
   }
   const uint64_t seq = kt->dispatch_seq();
   const int proc_id = proc->id();
-  engine().ScheduleAfter(costs().kt_quantum,
+  engine().ScheduleIn(costs().kt_quantum,
                          [this, proc_id, kt, seq] { OnQuantumFire(proc_id, kt, seq); });
 }
 
@@ -258,7 +258,7 @@ void Kernel::OnQuantumFire(int proc_id, KThread* kt, uint64_t seq) {
                                    PendingAction::Kind::kNone) {
     // Nothing to rotate to (or the processor is already being preempted);
     // check again a quantum later.
-    engine().ScheduleAfter(costs().kt_quantum,
+    engine().ScheduleIn(costs().kt_quantum,
                            [this, proc_id, kt, seq] { OnQuantumFire(proc_id, kt, seq); });
     return;
   }
@@ -309,7 +309,7 @@ bool Kernel::RequestPreemption(hw::Processor* proc, PendingAction action) {
   // never lands in the middle of the current instruction.  This lets any
   // in-flight syscall continuation on `proc` start its next span first; the
   // interrupt then preempts that span cleanly.
-  engine().ScheduleAfter(0, [this, proc] {
+  engine().ScheduleIn(0, [this, proc] {
     if (pending_[static_cast<size_t>(proc->id())].kind == PendingAction::Kind::kNone) {
       return;  // already handled (e.g. consumed at a dispatch point)
     }
@@ -459,7 +459,7 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
         UpdateKtDemand(as);
         ClearRunning(proc);
         if (io) {
-          engine().ScheduleAfter(latency, [this, caller] { OnIoComplete(caller); });
+          engine().ScheduleIn(latency, [this, caller] { OnIoComplete(caller); });
         }
         if (as->mode() == AsMode::kSchedulerActivations) {
           as->sa()->OnThreadBlockedInKernel(caller, proc);
@@ -486,7 +486,7 @@ void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
   as->vm().CountFault();
   // The page becomes resident when the paging I/O completes — strictly
   // before the faulting thread is resumed (same timestamp, earlier event).
-  engine().ScheduleAfter(latency, [as, page] { as->vm().MakeResident(page); });
+  engine().ScheduleIn(latency, [as, page] { as->vm().MakeResident(page); });
   FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
 }
 

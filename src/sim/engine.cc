@@ -39,6 +39,11 @@ EventHandle Engine::ScheduleAt(Time at, std::function<void()> fn) {
   return EventHandle(std::move(state));
 }
 
+void Engine::Schedule(Time at, std::function<void()> fn) {
+  SA_CHECK_MSG(at >= now_, "event scheduled in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn), nullptr});
+}
+
 bool Engine::PopNext(Event* out) {
   while (!queue_.empty()) {
     // priority_queue::top is const; the event is moved out via const_cast,
@@ -46,7 +51,7 @@ bool Engine::PopNext(Event* out) {
     Event& top = const_cast<Event&>(queue_.top());
     Event ev = std::move(top);
     queue_.pop();
-    if (ev.state->cancelled) {
+    if (ev.state != nullptr && ev.state->cancelled) {
       continue;
     }
     *out = std::move(ev);
@@ -62,7 +67,9 @@ bool Engine::Step() {
   }
   SA_CHECK(ev.at >= now_);
   now_ = ev.at;
-  ev.state->fired = true;
+  if (ev.state != nullptr) {
+    ev.state->fired = true;
+  }
   ++events_fired_;
   ev.fn();
   return true;
@@ -93,7 +100,9 @@ void Engine::RunUntil(Time until) {
       return;
     }
     now_ = ev.at;
-    ev.state->fired = true;
+    if (ev.state != nullptr) {
+      ev.state->fired = true;
+    }
     ++events_fired_;
     ev.fn();
   }

@@ -62,6 +62,16 @@ class Engine {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
+  // Handle-free variants for fire-and-forget events that will never be
+  // cancelled or queried: skips the shared_ptr control-block allocation the
+  // handle needs.  This is the hot path — most simulation events (span
+  // completions, I/O completions, timer re-arms) are never cancelled.
+  void Schedule(Time at, std::function<void()> fn);
+  void ScheduleIn(Duration delay, std::function<void()> fn) {
+    SA_CHECK(delay >= 0);
+    Schedule(now_ + delay, std::move(fn));
+  }
+
   // Runs the next pending event, if any.  Returns false when the queue is
   // drained (ignoring cancelled events).
   bool Step();
@@ -80,7 +90,7 @@ class Engine {
     Time at;
     uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::shared_ptr<EventHandle::State> state;  // null for handle-free events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
