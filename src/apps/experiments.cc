@@ -5,6 +5,7 @@
 
 #include "src/rt/harness.h"
 #include "src/rt/topaz_runtime.h"
+#include "src/trace/chrome_export.h"
 #include "src/ult/ult_runtime.h"
 
 namespace sa::apps {
@@ -23,7 +24,8 @@ const char* SystemName(SystemKind kind) {
 
 NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& config,
                         const DaemonConfig& daemons, int copies, uint64_t seed,
-                        kern::Config kernel_config, bool flag_based_cs) {
+                        kern::Config kernel_config, bool flag_based_cs,
+                        std::string* trace_json) {
   SA_CHECK(copies >= 1);
   rt::HarnessConfig hc;
   hc.kernel = kernel_config;
@@ -38,6 +40,9 @@ NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& co
                        ? kern::KernelMode::kSchedulerActivations
                        : kern::KernelMode::kNativeTopaz;
   rt::Harness h(hc);
+  if (trace_json != nullptr) {
+    h.EnableTracing(trace::cat::kAll);
+  }
 
   std::vector<std::unique_ptr<rt::Runtime>> runtimes;
   std::vector<std::unique_ptr<NBodyApp>> apps;
@@ -95,6 +100,9 @@ NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& co
   result.elapsed /= copies;
   result.speedup = speedup_sum / copies;
   result.counters = h.kernel().counters();
+  if (trace_json != nullptr) {
+    *trace_json = trace::ExportChromeJson(h.trace()->Snapshot());
+  }
   return result;
 }
 

@@ -42,11 +42,15 @@ struct NBodyRunResult {
 // with a machine of `processors` processors.  Returns per-run aggregates;
 // the speedup is the mean of each copy's sequential/elapsed (Table 5 runs
 // two copies; Figures 1-2 run one).  `kernel_config` overrides kernel
-// parameters (its mode field is replaced to match `system`).
+// parameters (its mode field is replaced to match `system`).  When
+// `trace_json` is non-null the run records all trace categories and exports
+// the Chrome trace JSON into it — a seeded run's export is byte-identical
+// across repeats (tracing itself never perturbs virtual time).
 NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& config,
                         const DaemonConfig& daemons, int copies = 1,
                         uint64_t seed = 1, kern::Config kernel_config = {},
-                        bool flag_based_cs = false);
+                        bool flag_based_cs = false,
+                        std::string* trace_json = nullptr);
 
 }  // namespace sa::apps
 

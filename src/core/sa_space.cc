@@ -99,7 +99,27 @@ void SaSpace::QueueEvent(UpcallEvent ev) {
   }
   SA_DEBUG(kLog, "%s: queue %s(act %lld)", as_->name().c_str(),
            UpcallEventKindName(ev.kind), static_cast<long long>(ev.activation_id));
+  ev.queued_at = kernel_->engine().now();
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kUpcallQueued,
+                              ev.processor_id, as_->id(),
+                              static_cast<uint64_t>(ev.kind),
+                              static_cast<uint64_t>(ev.activation_id));
   pending_.push_back(std::move(ev));
+}
+
+// Emits a vessel-invariant snapshot (#running activations vs #assigned
+// processors) for the trace-driven checker.  Only quiescent points count: a
+// queued-but-undelivered event batch, an upcall request in flight, or the
+// §3.1 upcall page-fault window are all instants where the protocol is
+// legitimately mid-transition, so no snapshot is taken.
+void SaSpace::TraceVessel() {
+  if (!pending_.empty() || upcall_requested_ || upcall_fault_pending_) {
+    return;
+  }
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kVessel, -1,
+                              as_->id(),
+                              static_cast<uint64_t>(num_running_activations()),
+                              static_cast<uint64_t>(num_assigned()));
 }
 
 // ---------------------------------------------------------------------------
@@ -112,6 +132,7 @@ void SaSpace::OnProcessorGranted(hw::Processor* proc) {
   ev.processor_id = proc->id();
   QueueEvent(std::move(ev));
   DeliverOn(proc);
+  TraceVessel();
 }
 
 void SaSpace::OnProcessorRevoked(hw::Processor* proc, kern::KThread* stopped) {
@@ -136,9 +157,11 @@ void SaSpace::OnProcessorRevoked(hw::Processor* proc, kern::KThread* stopped) {
     // re-allocated a processor.
     ++kernel_->counters().delayed_notifications;
     UpdateDemand();
+    TraceVessel();
     return;
   }
   EnsureDelivery();
+  TraceVessel();
 }
 
 void SaSpace::OnThreadBlockedInKernel(kern::KThread* blocked, hw::Processor* proc) {
@@ -150,6 +173,7 @@ void SaSpace::OnThreadBlockedInKernel(kern::KThread* blocked, hw::Processor* pro
   // The blocked activation's processor is used right away for the upcall, so
   // it keeps doing useful work for this address space.
   DeliverOn(proc);
+  TraceVessel();
 }
 
 void SaSpace::OnThreadUnblockedInKernel(kern::KThread* unblocked) {
@@ -163,6 +187,7 @@ void SaSpace::OnThreadUnblockedInKernel(kern::KThread* unblocked) {
   ev.state = CaptureUserState(unblocked);
   QueueEvent(std::move(ev));
   EnsureDelivery();
+  TraceVessel();
 }
 
 void SaSpace::OnUpcallProcessorReady(hw::Processor* proc, kern::KThread* stopped) {
@@ -177,6 +202,7 @@ void SaSpace::OnUpcallProcessorReady(hw::Processor* proc, kern::KThread* stopped
     QueueEvent(std::move(ev));
   }
   DeliverOn(proc);
+  TraceVessel();
 }
 
 void SaSpace::EnsureDelivery() {
@@ -215,8 +241,14 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
     if (!upcall_fault_pending_) {
       upcall_fault_pending_ = true;
       ++kernel_->counters().upcall_page_fault_delays;
+      kernel_->engine().TraceEmit(trace::cat::kUpcall,
+                                  trace::Kind::kUpcallFaultBegin, proc->id(),
+                                  as_->id());
       kernel_->engine().ScheduleIn(kernel_->costs().disk_latency, [this, proc] {
         upcall_fault_pending_ = false;
+        kernel_->engine().TraceEmit(trace::cat::kUpcall,
+                                    trace::Kind::kUpcallFaultEnd, proc->id(),
+                                    as_->id());
         as_->vm().MakeResident(kern::VmSpace::kUpcallEntryPage);
         if (as_->IsAssigned(proc) && !proc->has_span() &&
             kernel_->running_on(proc) == nullptr) {
@@ -242,6 +274,19 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
   SA_DEBUG(kLog, "%s: upcall on processor %d, activation %lld, %zu events",
            as_->name().c_str(), proc->id(), static_cast<long long>(fresh->id()),
            fresh->inbox().size());
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kUpcallDeliver,
+                              proc->id(), as_->id(), fresh->inbox().size(),
+                              static_cast<uint64_t>(fresh->id()));
+  const sim::Time now = kernel_->engine().now();
+  for (const UpcallEvent& ev : fresh->inbox()) {
+    kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kUpcallEvent,
+                                proc->id(), as_->id(),
+                                static_cast<uint64_t>(ev.kind),
+                                static_cast<uint64_t>(ev.activation_id));
+    if (ev.queued_at >= 0) {
+      kernel_->upcall_latency().Add(now - ev.queued_at);
+    }
+  }
   kernel_->RunContextOn(proc, fresh->kthread(), kernel_->UpcallCost() + setup_cost);
 }
 
@@ -278,6 +323,9 @@ void SaSpace::DowncallAddProcessors(kern::KThread* caller, int additional,
                                     std::function<void()> done) {
   SA_CHECK(additional > 0);
   ++kernel_->counters().downcalls_add_more;
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kDowncallAddProcs,
+                              caller->processor()->id(), as_->id(),
+                              static_cast<uint64_t>(additional));
   kernel_->ChargeKernel(caller, kernel_->costs().downcall,
                         [this, additional, done = std::move(done)] {
                           user_desired_ = num_assigned() + additional;
@@ -288,6 +336,9 @@ void SaSpace::DowncallAddProcessors(kern::KThread* caller, int additional,
 
 void SaSpace::DowncallProcessorIdle(kern::KThread* caller, std::function<void()> done) {
   ++kernel_->counters().downcalls_idle;
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kDowncallIdle,
+                              caller->processor()->id(), as_->id(),
+                              static_cast<uint64_t>(caller->activation()->id()));
   kernel_->ChargeKernel(caller, kernel_->costs().downcall, [this, done = std::move(done)] {
     user_desired_ = std::max(0, std::min(user_desired_, num_assigned() - 1));
     UpdateDemand();
@@ -345,6 +396,9 @@ void SaSpace::DebuggerStop(kern::KThread* act) {
   hw::Processor* proc = act->processor();
   act->activation()->set_debugged(true);
   debug_stopped_[act->activation()->id()] = proc;
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kDebugStop,
+                              proc->id(), as_->id(),
+                              static_cast<uint64_t>(act->activation()->id()));
   kern::PendingAction action;
   action.kind = kern::PendingAction::Kind::kDebugStop;
   const bool ok = kernel_->RequestPreemption(proc, action);
@@ -358,6 +412,9 @@ void SaSpace::DebuggerResume(kern::KThread* act) {
   hw::Processor* proc = it->second;
   debug_stopped_.erase(it);
   act->activation()->set_debugged(false);
+  kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kDebugResume,
+                              proc->id(), as_->id(),
+                              static_cast<uint64_t>(act->activation()->id()));
   // The single sanctioned direct resume: transparent to the thread system.
   kernel_->RunContextOn(proc, act, 0);
 }

@@ -93,6 +93,8 @@ class SaSpace : public kern::SaSpaceIface {
   // Fresh activation + upcall on `proc` (which must be span-free and ours).
   void DeliverOn(hw::Processor* proc);
   void UpdateDemand();
+  // Vessel-invariant trace snapshot at protocol-quiescent points (§10).
+  void TraceVessel();
 
   kern::Kernel* kernel_;
   kern::AddressSpace* as_;

@@ -44,6 +44,9 @@ struct UpcallEvent {
   int64_t activation_id = -1;  // subject activation (all kinds but kAddProcessor)
   int processor_id = -1;       // kAddProcessor / kPreempted: which processor
   UserThreadState state;       // kPreempted / kUnblocked carry machine state
+  int64_t queued_at = -1;      // virtual time the kernel queued the event
+                               // (stamped by SaSpace::QueueEvent; feeds the
+                               // upcall-latency histogram in rt::RunReport)
 };
 
 const char* UpcallEventKindName(UpcallEvent::Kind kind);

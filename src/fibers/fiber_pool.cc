@@ -304,6 +304,10 @@ FiberHandle FiberPool::Spawn(std::function<void()> fn) {
   }
 #endif
   const FiberHandle handle(fiber, generation);
+  SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibSpawn,
+                trace::HostNow(),
+                state != nullptr && state->pool == this ? state->worker->index : -1,
+                -1, generation, 0);
   PushRunnable(fiber);
   return handle;
 }
@@ -366,6 +370,8 @@ void FiberPool::WakeOne() {
       }
       w->park_cv.notify_one();
       w->wakeups.fetch_add(1, std::memory_order_relaxed);
+      SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibWake,
+                    trace::HostNow(), w->index, -1, 0, 0);
       return;  // wake at most one — no notify storms
     }
   }
@@ -435,6 +441,9 @@ internal::Fiber* FiberPool::TrySteal(Worker* w) {
         ++got;
       }
       Bump(w->steals, got);
+      SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibSteal,
+                    trace::HostNow(), w->index, -1,
+                    static_cast<uint64_t>(victim->index), got);
       return f;
     }
   }
@@ -478,6 +487,8 @@ void FiberPool::ParkWorker(Worker* w) {
     return;
   }
   Bump(w->parks);
+  SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibPark,
+                trace::HostNow(), w->index, -1, 0, 0);
   bool claimed;
   {
     std::unique_lock<std::mutex> lk(w->park_mu);
@@ -606,6 +617,9 @@ void FiberPool::WorkerLoop(int index) {
     }
     state.current = fiber;
     Bump(w->switches);
+    SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibSwitch,
+                  trace::HostNow(), index, -1,
+                  fiber->generation.load(std::memory_order_relaxed), 0);
 #if defined(SA_FIBERS_TSAN)
     __tsan_switch_to_fiber(fiber->tsan_fiber, 0);
 #endif

@@ -35,6 +35,7 @@
 
 #include "src/fibers/context.h"
 #include "src/fibers/spinlock.h"
+#include "src/trace/trace.h"
 
 namespace sa::fibers {
 
@@ -148,6 +149,11 @@ class FiberPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  // Event tracing (cat::kFibers, host monotonic clock).  The buffer must
+  // outlive the pool; read it back only after the pool is destroyed (workers
+  // emit concurrently).  Pass nullptr to detach.
+  void set_tracer(trace::TraceBuffer* tracer) { tracer_ = tracer; }
+
  private:
   friend class FiberMutex;
   friend class FiberSemaphore;
@@ -173,6 +179,7 @@ class FiberPool {
   const size_t stack_size_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  trace::TraceBuffer* tracer_ = nullptr;
 
   std::atomic<bool> stopping_{false};
   std::atomic<int> num_parked_{0};

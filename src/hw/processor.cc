@@ -89,9 +89,14 @@ void Processor::BeginSpan(sim::Duration d, SpanMode mode, bool preemptible,
   span_start_ = engine_->now();
   span_duration_ = d;
   on_complete_ = std::move(on_complete);
+  engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanBegin, id_, -1,
+                     static_cast<uint64_t>(mode), static_cast<uint64_t>(d));
   const auto complete = [this] {
     AccumulateTo(engine_->now());
     span_active_ = false;
+    engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanEnd, id_, -1,
+                       static_cast<uint64_t>(mode_),
+                       static_cast<uint64_t>(span_duration_));
     std::function<void()> fn = std::move(on_complete_);
     on_complete_ = nullptr;
     fn();
@@ -124,6 +129,8 @@ void Processor::BeginOpenSpan(SpanMode mode) {
   critical_section_ = false;
   mode_ = mode;
   span_start_ = engine_->now();
+  engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanOpen, id_, -1,
+                     static_cast<uint64_t>(mode), 0);
 }
 
 void Processor::EndOpenSpan() {
@@ -131,6 +138,9 @@ void Processor::EndOpenSpan() {
   AccumulateTo(engine_->now());
   span_active_ = false;
   open_ = false;
+  engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanClose, id_, -1,
+                     static_cast<uint64_t>(mode_),
+                     static_cast<uint64_t>(engine_->now() - span_start_));
 }
 
 void Processor::RequestInterrupt() {
@@ -148,6 +158,9 @@ void Processor::RequestInterrupt() {
     AccumulateTo(engine_->now());
     span_active_ = false;
     open_ = false;
+    engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanPreempt, id_,
+                       -1, static_cast<uint64_t>(mode_),
+                       static_cast<uint64_t>(irq.elapsed));
     FireInterrupt(std::move(irq));
     return;
   }
@@ -167,6 +180,9 @@ void Processor::RequestInterrupt() {
   on_complete_ = nullptr;
   AccumulateTo(engine_->now());
   span_active_ = false;
+  engine_->TraceEmit(trace::cat::kProcessor, trace::Kind::kSpanPreempt, id_, -1,
+                     static_cast<uint64_t>(mode_),
+                     static_cast<uint64_t>(elapsed));
   FireInterrupt(std::move(irq));
 }
 

@@ -109,6 +109,8 @@ void Kernel::AssignProcessor(hw::Processor* proc, AddressSpace* as) {
   SA_CHECK(owner_[static_cast<size_t>(proc->id())] == nullptr);
   owner_[static_cast<size_t>(proc->id())] = as;
   as->AddAssigned(proc);
+  engine().TraceEmit(trace::cat::kAlloc, trace::Kind::kProcGrant, proc->id(),
+                     as->id(), static_cast<uint64_t>(as->assigned().size()));
 }
 
 void Kernel::UnassignProcessor(hw::Processor* proc) {
@@ -116,6 +118,8 @@ void Kernel::UnassignProcessor(hw::Processor* proc) {
   SA_CHECK(as != nullptr);
   as->RemoveAssigned(proc);
   owner_[static_cast<size_t>(proc->id())] = nullptr;
+  engine().TraceEmit(trace::cat::kAlloc, trace::Kind::kProcRevoke, proc->id(),
+                     as->id(), static_cast<uint64_t>(as->assigned().size()));
 }
 
 AddressSpace* Kernel::OwnerOf(const hw::Processor* proc) const {
@@ -189,6 +193,8 @@ void Kernel::MakeReady(KThread* kt) {
   kt->set_state(KThreadState::kReady);
   ++as->runnable_threads;
   UpdateKtDemand(as);
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kThreadReady, -1,
+                     as->id(), static_cast<uint64_t>(kt->id()));
 
   if (config_.mode == KernelMode::kNativeTopaz && kt->priority() > 0) {
     if (PlaceHighPriority(kt)) {
@@ -213,6 +219,8 @@ void Kernel::ChargeDispatchAndRun(hw::Processor* proc, KThread* kt) {
   kt->set_processor(proc);
   kt->set_state(KThreadState::kRunning);
   ++counters_.dispatches;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kDispatch, proc->id(),
+                     kt->address_space()->id(), static_cast<uint64_t>(kt->id()));
   proc->BeginKernelSpan(DispatchCost(kt->address_space()), [this, kt] { RunThread(kt); });
 }
 
@@ -263,6 +271,8 @@ void Kernel::OnQuantumFire(int proc_id, KThread* kt, uint64_t seq) {
     return;
   }
   ++counters_.timeslices;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kTimeslice, proc_id,
+                     kt->address_space()->id(), static_cast<uint64_t>(kt->id()));
   PendingAction action;
   action.kind = PendingAction::Kind::kTimeslice;
   RequestPreemption(proc, action);
@@ -412,6 +422,10 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
 
 void Kernel::SysFork(KThread* caller, KThread* child, std::function<void()> done) {
   ++counters_.forks;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kFork),
+                     static_cast<uint64_t>(caller->id()));
   SA_CHECK(caller->state() == KThreadState::kRunning);
   SA_CHECK(child->state() == KThreadState::kBorn);
   hw::Processor* proc = caller->processor();
@@ -424,6 +438,10 @@ void Kernel::SysFork(KThread* caller, KThread* child, std::function<void()> done
 
 void Kernel::SysExit(KThread* caller) {
   ++counters_.exits;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kExit),
+                     static_cast<uint64_t>(caller->id()));
   SA_CHECK(caller->state() == KThreadState::kRunning);
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(
@@ -455,6 +473,9 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
         }
         caller->set_state(KThreadState::kBlocked);
         AddressSpace* as = caller->address_space();
+        engine().TraceEmit(trace::cat::kKernel, trace::Kind::kThreadBlock,
+                           proc->id(), as->id(),
+                           static_cast<uint64_t>(caller->id()), io ? 1 : 0);
         --as->runnable_threads;
         UpdateKtDemand(as);
         ClearRunning(proc);
@@ -471,6 +492,10 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
 
 void Kernel::SysBlockIo(KThread* caller, sim::Duration latency) {
   ++counters_.io_blocks;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kBlockIo),
+                     static_cast<uint64_t>(caller->id()));
   FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
 }
 
@@ -483,6 +508,10 @@ void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
     return;
   }
   ++counters_.page_faults;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kPageFault,
+                     caller->processor()->id(), as->id(),
+                     static_cast<uint64_t>(caller->id()),
+                     static_cast<uint64_t>(page));
   as->vm().CountFault();
   // The page becomes resident when the paging I/O completes — strictly
   // before the faulting thread is resumed (same timestamp, earlier event).
@@ -493,11 +522,19 @@ void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
 void Kernel::SysBlockWait(KThread* caller, std::function<bool()> block_check,
                           std::function<void()> not_blocked) {
   ++counters_.kernel_waits;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kBlockWait),
+                     static_cast<uint64_t>(caller->id()));
   FinishBlock(caller, /*io=*/false, 0, std::move(block_check), std::move(not_blocked));
 }
 
 void Kernel::SysYield(KThread* caller) {
   SA_CHECK(caller->state() == KThreadState::kRunning);
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kYield),
+                     static_cast<uint64_t>(caller->id()));
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(costs().kernel_trap, [this, caller, proc] {
     AddressSpace* as = caller->address_space();
@@ -511,6 +548,8 @@ void Kernel::SysYield(KThread* caller) {
 void Kernel::OnIoComplete(KThread* kt) {
   SA_CHECK(kt->state() == KThreadState::kBlocked);
   AddressSpace* as = kt->address_space();
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kThreadWake, -1,
+                     as->id(), static_cast<uint64_t>(kt->id()));
   if (as->mode() == AsMode::kSchedulerActivations) {
     as->sa()->OnThreadUnblockedInKernel(kt);
     return;
@@ -521,6 +560,10 @@ void Kernel::OnIoComplete(KThread* kt) {
 
 void Kernel::SysWakeup(KThread* caller, KThread* target, std::function<void()> done) {
   ++counters_.wakeups;
+  engine().TraceEmit(trace::cat::kKernel, trace::Kind::kSyscall,
+                     caller->processor()->id(), caller->address_space()->id(),
+                     static_cast<uint64_t>(trace::Syscall::kWakeup),
+                     static_cast<uint64_t>(caller->id()));
   SA_CHECK(caller->state() == KThreadState::kRunning);
   SA_CHECK_MSG(target->state() == KThreadState::kBlocked, "waking a non-blocked thread");
   hw::Processor* proc = caller->processor();

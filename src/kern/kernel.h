@@ -33,6 +33,7 @@
 #include "src/kern/address_space.h"
 #include "src/kern/costs.h"
 #include "src/kern/kthread.h"
+#include "src/trace/histogram.h"
 
 namespace sa::kern {
 
@@ -111,6 +112,11 @@ class Kernel {
   KernelMode mode() const { return config_.mode; }
   KernelCounters& counters() { return counters_; }
   ProcessorAllocator* allocator() { return allocator_.get(); }
+
+  // Upcall latency (event queued in the kernel -> upcall dispatched on a
+  // processor); filled in by src/core/ and surfaced through rt::RunReport.
+  trace::LatencyHistogram& upcall_latency() { return upcall_latency_; }
+  const trace::LatencyHistogram& upcall_latency() const { return upcall_latency_; }
 
   // ---- setup (boot time, cost-free) ----
   AddressSpace* CreateAddressSpace(const std::string& name, AsMode mode, int priority);
@@ -237,6 +243,7 @@ class Kernel {
   std::vector<std::unique_ptr<Domain>> kt_domains_;  // SA mode, per kt space
   int64_t next_thread_id_ = 1;
   int64_t live_threads_ = 0;
+  trace::LatencyHistogram upcall_latency_;
 };
 
 }  // namespace sa::kern

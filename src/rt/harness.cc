@@ -34,6 +34,15 @@ Runtime* Harness::AddDaemon(const std::string& name, sim::Duration period,
   return raw;
 }
 
+trace::TraceBuffer& Harness::EnableTracing(uint32_t categories, size_t capacity) {
+  if (trace_ == nullptr) {
+    trace_ = std::make_unique<trace::TraceBuffer>(capacity);
+    engine().set_tracer(trace_.get());
+  }
+  trace_->set_enabled(categories);
+  return *trace_;
+}
+
 void Harness::Start() {
   SA_CHECK(!started_);
   started_ = true;

@@ -12,6 +12,7 @@
 #include "src/hw/machine.h"
 #include "src/kern/kernel.h"
 #include "src/rt/runtime.h"
+#include "src/trace/trace.h"
 
 namespace sa::rt {
 
@@ -52,6 +53,14 @@ class Harness {
   // True iff every foreground runtime reports AllDone.
   bool AllDone() const;
 
+  // Event tracing (DESIGN.md §10).  Allocates the trace ring, installs it on
+  // the engine, and enables the given categories.  Call before Start();
+  // idempotent (later calls only adjust the category mask).
+  trace::TraceBuffer& EnableTracing(uint32_t categories = trace::cat::kAll,
+                                    size_t capacity = 1u << 20);
+  // The installed buffer, or null if tracing was never enabled.
+  trace::TraceBuffer* trace() { return trace_.get(); }
+
  private:
   HarnessConfig config_;
   hw::Machine machine_;
@@ -62,6 +71,7 @@ class Harness {
   };
   std::vector<Entry> runtimes_;
   std::vector<std::unique_ptr<Runtime>> owned_;
+  std::unique_ptr<trace::TraceBuffer> trace_;
   bool started_ = false;
 };
 

@@ -33,6 +33,7 @@ RunReport MakeReport(Harness& harness) {
   report.idle_spin = m.TotalTimeIn(hw::SpanMode::kIdleSpin);
   report.idle = m.TotalTimeIn(hw::SpanMode::kIdle);
   report.counters = harness.kernel().counters();
+  report.upcall_latency = harness.kernel().upcall_latency();
   return report;
 }
 
@@ -62,6 +63,17 @@ std::string RunReport::ToString() const {
                 static_cast<long long>(counters.preempt_interrupts),
                 static_cast<long long>(counters.page_faults));
   out += buf;
+  if (upcall_latency.count() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "upcall latency (event -> delivery): n=%llu mean %s, "
+                  "p50 %s, p99 %s, max %s\n",
+                  static_cast<unsigned long long>(upcall_latency.count()),
+                  sim::FormatDuration(upcall_latency.mean()).c_str(),
+                  sim::FormatDuration(upcall_latency.Quantile(0.5)).c_str(),
+                  sim::FormatDuration(upcall_latency.Quantile(0.99)).c_str(),
+                  sim::FormatDuration(upcall_latency.max()).c_str());
+    out += buf;
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/rt/harness.h"
+#include "src/trace/histogram.h"
 
 namespace sa::rt {
 
@@ -21,6 +22,9 @@ struct RunReport {
   sim::Duration idle_spin = 0;  // user-level scheduler idle loops
   sim::Duration idle = 0;       // kernel idle (no context at all)
   kern::KernelCounters counters;
+  // Virtual-time latency from a scheduling event entering an address
+  // space's upcall queue to its delivery in a fresh activation (ns).
+  trace::LatencyHistogram upcall_latency;
 
   // Fraction of machine time spent running application code.
   double UserUtilization() const;

@@ -1,8 +1,16 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace sa::sim {
+namespace {
+
+// Heaps smaller than this are never compacted: the dead entries cost less
+// than the rebuild.
+constexpr size_t kCompactMinSize = 64;
+
+}  // namespace
 
 std::string FormatDuration(Duration d) {
   char buf[64];
@@ -26,38 +34,83 @@ bool EventHandle::pending() const {
 
 bool EventHandle::Cancel() {
   if (!pending()) {
+    // Fired, already cancelled, or never scheduled: stays inert.  This holds
+    // even if the State is probed again after the handle was copied — fired
+    // is a one-way latch.
     return false;
   }
   state_->cancelled = true;
+  if (state_->engine != nullptr) {
+    state_->engine->NoteCancelled();
+  }
   return true;
+}
+
+Engine::~Engine() {
+  // Outstanding handles may be cancelled after the engine is gone; sever the
+  // back-references so Cancel() degrades to a pure state flip.
+  for (Event& ev : queue_) {
+    if (ev.state != nullptr) {
+      ev.state->engine = nullptr;
+    }
+  }
+}
+
+void Engine::PushEvent(Event ev) {
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  ++live_events_;
 }
 
 EventHandle Engine::ScheduleAt(Time at, std::function<void()> fn) {
   SA_CHECK_MSG(at >= now_, "event scheduled in the past");
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  state->engine = this;
+  PushEvent(Event{at, next_seq_++, std::move(fn), state});
   return EventHandle(std::move(state));
 }
 
 void Engine::Schedule(Time at, std::function<void()> fn) {
   SA_CHECK_MSG(at >= now_, "event scheduled in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn), nullptr});
+  PushEvent(Event{at, next_seq_++, std::move(fn), nullptr});
+}
+
+void Engine::NoteCancelled() {
+  SA_DCHECK(live_events_ > 0);
+  --live_events_;
+  MaybeCompact();
+}
+
+void Engine::MaybeCompact() {
+  const size_t dead = queue_.size() - live_events_;
+  if (queue_.size() < kCompactMinSize || dead * 2 <= queue_.size()) {
+    return;
+  }
+  std::erase_if(queue_, [](const Event& ev) {
+    return ev.state != nullptr && ev.state->cancelled;
+  });
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  SA_DCHECK(queue_.size() == live_events_);
+}
+
+void Engine::DropCancelledTop() {
+  while (!queue_.empty() && queue_.front().state != nullptr &&
+         queue_.front().state->cancelled) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    queue_.pop_back();
+  }
 }
 
 bool Engine::PopNext(Event* out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the event is moved out via const_cast,
-    // which is safe because we pop immediately after.
-    Event& top = const_cast<Event&>(queue_.top());
-    Event ev = std::move(top);
-    queue_.pop();
-    if (ev.state != nullptr && ev.state->cancelled) {
-      continue;
-    }
-    *out = std::move(ev);
-    return true;
+  DropCancelledTop();
+  if (queue_.empty()) {
+    return false;
   }
-  return false;
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  *out = std::move(queue_.back());
+  queue_.pop_back();
+  --live_events_;
+  return true;
 }
 
 bool Engine::Step() {
@@ -85,20 +138,19 @@ void Engine::Run(uint64_t max_events) {
 
 void Engine::RunUntil(Time until) {
   for (;;) {
-    // Peek: find next live event without disturbing order.
-    Event ev;
-    if (!PopNext(&ev)) {
+    DropCancelledTop();
+    if (queue_.empty()) {
       if (now_ < until) {
         now_ = until;
       }
       return;
     }
-    if (ev.at > until) {
-      // Push back and stop.
-      queue_.push(std::move(ev));
+    if (queue_.front().at > until) {
       now_ = until;
       return;
     }
+    Event ev;
+    PopNext(&ev);
     now_ = ev.at;
     if (ev.state != nullptr) {
       ev.state->fired = true;
@@ -107,7 +159,5 @@ void Engine::RunUntil(Time until) {
     ev.fn();
   }
 }
-
-size_t Engine::pending_events() const { return queue_.size(); }
 
 }  // namespace sa::sim

@@ -3,7 +3,10 @@
 // A single Engine owns the virtual clock and a min-heap of scheduled events.
 // Events scheduled for the same instant fire in scheduling order (stable FIFO
 // by sequence number), which keeps runs deterministic.  Cancellation is lazy:
-// a cancelled heap entry is discarded when it reaches the top.
+// a cancelled heap entry stays in the heap and is discarded when it reaches
+// the top, but the engine tracks live-vs-dead counts exactly (pending_events
+// never counts cancelled entries) and compacts the heap when more than half
+// of it is dead.
 
 #ifndef SA_SIM_ENGINE_H_
 #define SA_SIM_ENGINE_H_
@@ -11,11 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/assert.h"
 #include "src/sim/time.h"
+#include "src/trace/trace.h"
 
 namespace sa::sim {
 
@@ -23,6 +26,15 @@ class Engine;
 
 // Handle to a scheduled event; allows cancellation.  Default-constructed
 // handles are inert.  Handles do not keep callbacks alive after firing.
+//
+// Cancellation contract:
+//   - Cancel() on a pending event marks it cancelled and returns true; the
+//     callback will never run.
+//   - Cancel() after the event fired (or was already cancelled) returns
+//     false and has no effect — a fired event is inert forever, even if the
+//     handle is later Reset() or reassigned and even if the engine has been
+//     destroyed.  Double-cancel likewise returns false the second time.
+//   - pending() is true only between scheduling and fire/cancel.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -40,6 +52,7 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
+    Engine* engine = nullptr;  // nulled when the engine dies first
   };
   explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
@@ -48,6 +61,7 @@ class EventHandle {
 class Engine {
  public:
   Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -83,9 +97,25 @@ class Engine {
   void RunUntil(Time until);
 
   uint64_t events_fired() const { return events_fired_; }
-  size_t pending_events() const;
+
+  // Number of scheduled events that are still live: excludes cancelled
+  // entries that have not yet been discarded from the heap.
+  size_t pending_events() const { return live_events_; }
+
+  // Event tracing (DESIGN.md §10).  The engine stamps records with the
+  // virtual clock; components that hold an Engine* emit through it.  The
+  // buffer is owned by the harness (or test); null means tracing is off.
+  void set_tracer(trace::TraceBuffer* tracer) { tracer_ = tracer; }
+  trace::TraceBuffer* tracer() const { return tracer_; }
+  void TraceEmit(uint32_t category, trace::Kind kind, int cpu, int as_id,
+                 uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    SA_TRACE_EMIT(tracer_, category, kind, static_cast<int64_t>(now_), cpu,
+                  as_id, arg0, arg1);
+  }
 
  private:
+  friend class EventHandle;
+
   struct Event {
     Time at;
     uint64_t seq;
@@ -101,13 +131,22 @@ class Engine {
     }
   };
 
+  // Discards cancelled entries sitting at the top of the heap.
+  void DropCancelledTop();
   // Pops the next non-cancelled event; returns false if none.
   bool PopNext(Event* out);
+  void PushEvent(Event ev);
+  // EventHandle::Cancel() notification: one live entry became dead.
+  void NoteCancelled();
+  // Rebuilds the heap without its dead entries once >50% are dead.
+  void MaybeCompact();
 
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  size_t live_events_ = 0;  // heap entries not cancelled
+  std::vector<Event> queue_;  // min-heap via std::push_heap/pop_heap
+  trace::TraceBuffer* tracer_ = nullptr;
 };
 
 }  // namespace sa::sim

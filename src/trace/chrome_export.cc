@@ -1,0 +1,120 @@
+#include "src/trace/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace sa::trace {
+namespace {
+
+// Mirrors hw::SpanMode (trace/ cannot depend on hw/).
+const char* SpanModeName(uint64_t mode) {
+  switch (mode) {
+    case 0: return "idle";
+    case 1: return "user";
+    case 2: return "mgmt";
+    case 3: return "kernel";
+    case 4: return "spin";
+    case 5: return "idle-spin";
+  }
+  return "span";
+}
+
+bool IsSpanBegin(Kind k) { return k == Kind::kSpanBegin || k == Kind::kSpanOpen; }
+bool IsSpanEnd(Kind k) {
+  return k == Kind::kSpanEnd || k == Kind::kSpanClose || k == Kind::kSpanPreempt;
+}
+
+// ts is nanoseconds; trace_event wants microseconds.  Fixed three decimals
+// keeps full nanosecond precision and deterministic formatting.
+void AppendTs(std::string* out, int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out->append(buf);
+}
+
+void AppendEvent(std::string* out, bool* first, const char* name, const char* ph,
+                 int pid, int tid, int64_t ts_ns, int64_t dur_ns,
+                 const Record& r) {
+  if (!*first) {
+    out->append(",\n");
+  }
+  *first = false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                name, ph, pid, tid);
+  out->append(buf);
+  AppendTs(out, ts_ns);
+  if (dur_ns >= 0) {
+    out->append(",\"dur\":");
+    AppendTs(out, dur_ns);
+  }
+  if (ph[0] == 'i') {
+    out->append(",\"s\":\"t\"");
+  }
+  std::snprintf(buf, sizeof(buf),
+                ",\"args\":{\"as\":%d,\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}}",
+                r.as_id, r.arg0, r.arg1);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ExportChromeJson(const std::vector<Record>& records) {
+  std::string out;
+  out.reserve(records.size() * 96 + 256);
+  out.append("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  bool first = true;
+
+  // One span can be in flight per processor; remember its begin record.
+  std::map<int32_t, Record> open_span;
+
+  for (const Record& r : records) {
+    const Kind kind = static_cast<Kind>(r.kind);
+    const bool fibers = kind >= Kind::kFibSpawn && kind <= Kind::kFibWake;
+    const int pid = fibers ? 1 : 0;
+    const int tid = r.cpu >= 0 ? r.cpu : 255;
+    if (IsSpanBegin(kind)) {
+      open_span[r.cpu] = r;
+      continue;
+    }
+    if (IsSpanEnd(kind)) {
+      auto it = open_span.find(r.cpu);
+      if (it != open_span.end()) {
+        const Record& begin = it->second;
+        AppendEvent(&out, &first, SpanModeName(begin.arg0), "X", pid, tid,
+                    begin.ts, r.ts - begin.ts, begin);
+        open_span.erase(it);
+      }
+      if (kind == Kind::kSpanPreempt) {
+        AppendEvent(&out, &first, "preempt", "i", pid, tid, r.ts, -1, r);
+      }
+      continue;
+    }
+    AppendEvent(&out, &first, KindName(kind), "i", pid, tid, r.ts, -1, r);
+  }
+
+  // Spans still open when the run ended render as zero-duration instants so
+  // no record is silently dropped.
+  for (const auto& [cpu, begin] : open_span) {
+    AppendEvent(&out, &first, SpanModeName(begin.arg0), "i", 0,
+                cpu >= 0 ? cpu : 255, begin.ts, -1, begin);
+  }
+
+  out.append("\n]}\n");
+  return out;
+}
+
+bool WriteChromeJson(const TraceBuffer& buffer, const std::string& path) {
+  const std::string json = ExportChromeJson(buffer.Snapshot());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == json.size() && close_rc == 0;
+}
+
+}  // namespace sa::trace

@@ -1,0 +1,30 @@
+// Chrome trace_event JSON exporter: renders a TraceBuffer snapshot as a
+// {"traceEvents":[...]} document that chrome://tracing and Perfetto open as
+// per-processor timelines (pid 0 = simulated machine, tid = processor id;
+// pid 1 = native fiber pool, tid = worker id).
+//
+// Output is deterministic: records are formatted in emission order with
+// fixed-precision snprintf, no pointers, no host state — so a seeded
+// simulation exports a byte-identical trace on every run.
+
+#ifndef SA_TRACE_CHROME_EXPORT_H_
+#define SA_TRACE_CHROME_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace sa::trace {
+
+// Renders the records as Chrome trace JSON.  Span begin/end records pair
+// into complete ("X") events; everything else becomes an instant ("i").
+std::string ExportChromeJson(const std::vector<Record>& records);
+
+// Convenience: snapshot + export + write to `path`.  Returns false if the
+// file could not be written.
+bool WriteChromeJson(const TraceBuffer& buffer, const std::string& path);
+
+}  // namespace sa::trace
+
+#endif  // SA_TRACE_CHROME_EXPORT_H_

@@ -1,0 +1,108 @@
+// Log-2 bucketed latency histogram, used for the upcall-latency report
+// (event queued in the kernel → upcall dispatched on a processor).
+// Header-only so kern/ can embed one without linking anything extra.
+
+#ifndef SA_TRACE_HISTOGRAM_H_
+#define SA_TRACE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace sa::trace {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(int64_t value) {
+    if (value < 0) {
+      value = 0;
+    }
+    ++buckets_[BucketFor(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  int64_t mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<int64_t>(count_);
+  }
+
+  // Upper bound of the bucket containing the q-th quantile (q in [0,1]).
+  // Bucket granularity is a factor of two, which is plenty for "did upcall
+  // latency blow up" regressions.
+  int64_t Quantile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (target >= count_) {
+      target = count_ - 1;
+    }
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) {
+        return UpperBound(i);
+      }
+    }
+    return max_;
+  }
+
+  uint64_t bucket(int i) const { return buckets_[i]; }
+
+ private:
+  static int BucketFor(int64_t value) {
+    if (value <= 0) {
+      return 0;
+    }
+    int b = 0;
+    uint64_t v = static_cast<uint64_t>(value);
+    while (v >>= 1) {
+      ++b;
+    }
+    return b + 1 < kBuckets ? b + 1 : kBuckets - 1;
+  }
+
+  static int64_t UpperBound(int bucket) {
+    if (bucket == 0) {
+      return 0;
+    }
+    return static_cast<int64_t>(1) << bucket;
+  }
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace sa::trace
+
+#endif  // SA_TRACE_HISTOGRAM_H_

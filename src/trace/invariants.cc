@@ -1,0 +1,187 @@
+#include "src/trace/invariants.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace sa::trace {
+namespace {
+
+// Per-address-space vessel state.
+struct VesselState {
+  bool has_candidate = false;
+  Record candidate;        // last kVessel seen at candidate.ts
+  bool candidate_exempt = false;
+  int fault_depth = 0;     // nested §3.1 upcall-fault windows
+  int64_t fault_ts = -1;   // last ts a fault record touched
+};
+
+// Per-(space, vcpu) idle interval.
+struct IdleState {
+  bool idle = false;
+  int64_t since = 0;
+};
+
+struct SpaceUltState {
+  uint64_t runnable = 0;
+  int64_t runnable_since = 0;  // when runnable last became > 0
+  std::map<uint64_t, IdleState> vcpus;
+};
+
+void FinalizeVessel(int as_id, VesselState* vs, CheckResult* out) {
+  if (!vs->has_candidate) {
+    return;
+  }
+  vs->has_candidate = false;
+  ++out->vessel_checks;
+  if (vs->candidate_exempt) {
+    return;
+  }
+  if (vs->candidate.arg0 != vs->candidate.arg1) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "vessel invariant violated: as %d at t=%" PRId64
+                  ": %" PRIu64 " running activations vs %" PRIu64
+                  " assigned processors",
+                  as_id, vs->candidate.ts, vs->candidate.arg0, vs->candidate.arg1);
+    out->violations.push_back(buf);
+  }
+}
+
+void FlagIdleWhileReady(int as_id, uint64_t vcpu, int64_t start, int64_t end,
+                        const CheckOptions& options, CheckResult* out) {
+  const int64_t overlap = end - start;
+  if (overlap <= options.idle_ready_threshold) {
+    return;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "idle processor while ready work: as %d vcpu %" PRIu64
+                " idle-spun %" PRId64 "ns (t=%" PRId64 "..%" PRId64
+                ") with runnable threads pending",
+                as_id, vcpu, overlap, start, end);
+  out->violations.push_back(buf);
+}
+
+}  // namespace
+
+std::string CheckResult::Summary() const {
+  std::string s;
+  for (const auto& v : violations) {
+    s += v;
+    s += "\n";
+  }
+  return s;
+}
+
+CheckResult CheckInvariants(const std::vector<Record>& records,
+                            const CheckOptions& options) {
+  CheckResult out;
+  std::map<int32_t, VesselState> vessel;
+  std::map<int32_t, SpaceUltState> ult;
+
+  auto idle_overlap_start = [](const SpaceUltState& s, const IdleState& v) {
+    return v.since > s.runnable_since ? v.since : s.runnable_since;
+  };
+
+  for (const Record& r : records) {
+    const Kind kind = static_cast<Kind>(r.kind);
+    switch (kind) {
+      case Kind::kVessel: {
+        VesselState& vs = vessel[r.as_id];
+        if (vs.has_candidate && r.ts > vs.candidate.ts) {
+          FinalizeVessel(r.as_id, &vs, &out);
+        }
+        vs.has_candidate = true;
+        vs.candidate = r;
+        vs.candidate_exempt = vs.fault_depth > 0 || vs.fault_ts == r.ts;
+        break;
+      }
+      case Kind::kUpcallFaultBegin: {
+        VesselState& vs = vessel[r.as_id];
+        ++vs.fault_depth;
+        vs.fault_ts = r.ts;
+        if (vs.has_candidate && vs.candidate.ts == r.ts) {
+          vs.candidate_exempt = true;
+        }
+        break;
+      }
+      case Kind::kUpcallFaultEnd: {
+        VesselState& vs = vessel[r.as_id];
+        if (vs.fault_depth > 0) {
+          --vs.fault_depth;
+        }
+        vs.fault_ts = r.ts;
+        break;
+      }
+      case Kind::kUltRunnable:
+      case Kind::kUltReady: {
+        SpaceUltState& s = ult[r.as_id];
+        const uint64_t prev = s.runnable;
+        s.runnable = r.arg1;
+        if (prev == 0 && s.runnable > 0) {
+          s.runnable_since = r.ts;
+        } else if (prev > 0 && s.runnable == 0) {
+          // Ready work drained: close every open idle-while-ready overlap.
+          for (auto& [vcpu, v] : s.vcpus) {
+            if (v.idle) {
+              FlagIdleWhileReady(r.as_id, vcpu, idle_overlap_start(s, v), r.ts,
+                                 options, &out);
+            }
+          }
+        }
+        break;
+      }
+      case Kind::kUltIdle: {
+        SpaceUltState& s = ult[r.as_id];
+        IdleState& v = s.vcpus[r.arg0];
+        v.idle = true;
+        v.since = r.ts;
+        break;
+      }
+      // kUltUnbind ends the idle interval too: a vcpu without a processor
+      // cannot run work, so time past the unbind is queueing delay for the
+      // space's remaining processors, not a lost wakeup.  Overlap *before*
+      // the unbind still counts.
+      case Kind::kUltIdleWake:
+      case Kind::kUltDispatch:
+      case Kind::kUltSteal:
+      case Kind::kUltUnbind: {
+        SpaceUltState& s = ult[r.as_id];
+        const uint64_t vcpu = r.arg0;
+        auto it = s.vcpus.find(vcpu);
+        if (it != s.vcpus.end() && it->second.idle) {
+          if (s.runnable > 0) {
+            FlagIdleWhileReady(r.as_id, vcpu,
+                               idle_overlap_start(s, it->second), r.ts, options,
+                               &out);
+          }
+          it->second.idle = false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // End of trace: finalize pending vessel snapshots and open idle windows.
+  for (auto& [as_id, vs] : vessel) {
+    FinalizeVessel(as_id, &vs, &out);
+  }
+  int64_t end_ts = records.empty() ? 0 : records.back().ts;
+  for (auto& [as_id, s] : ult) {
+    if (s.runnable == 0) {
+      continue;
+    }
+    for (auto& [vcpu, v] : s.vcpus) {
+      if (v.idle) {
+        FlagIdleWhileReady(as_id, vcpu, idle_overlap_start(s, v), end_ts,
+                           options, &out);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sa::trace

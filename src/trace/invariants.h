@@ -1,0 +1,63 @@
+// Trace-driven invariant checker (DESIGN.md §10).
+//
+// Replays a TraceBuffer snapshot and asserts two properties of the
+// scheduler-activation protocol:
+//
+//  1. The vessel invariant (paper §3): at every instant, the number of
+//     running activations of an address space equals the number of
+//     processors assigned to it.  SaSpace emits a cat::kUpcall kVessel
+//     record (arg0 = running, arg1 = assigned) at the end of every protocol
+//     transition; the checker asserts equality on the *last* snapshot per
+//     (space, timestamp), since a multi-step transition within one instant
+//     is atomic to the rest of the simulation.  The one legitimate
+//     exception is the §3.1 upcall page-fault window (delivery blocked on a
+//     fault while the processor sits in the kernel), which the space brackets
+//     with kUpcallFaultBegin/kUpcallFaultEnd records.
+//
+//  2. No idle processor while ready work exists: a vcpu that stays
+//     idle-spinning (kUltIdle without a matching kUltIdleWake/kUltDispatch/
+//     kUltUnbind) while its space's runnable count (kUltRunnable) stays
+//     positive for longer than `idle_ready_threshold` is a lost wakeup.  The
+//     threshold absorbs legitimate transient windows, the longest of which
+//     is a revocation in flight: from the preempt interrupt until the
+//     preempted upcall delivers (the untuned ~2.05 ms sa_upcall cost), an
+//     idle vcpu sits with its span closed — unwakeable, but invisible to
+//     user level, which only learns of the revocation at upcall delivery.
+//     A real lost wakeup strands a thread until the end of the trace, so it
+//     clears any constant threshold.  An unbind closes the interval without
+//     extending it: a vcpu whose processor was revoked cannot run work, so
+//     later queueing is allocator latency, not a lost wakeup.
+
+#ifndef SA_TRACE_INVARIANTS_H_
+#define SA_TRACE_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace sa::trace {
+
+struct CheckOptions {
+  // Max duration a vcpu may idle-spin while ready work exists (ns).  The
+  // default covers the untuned sa_upcall delivery (2.05 ms — the revocation
+  // in-flight window, see above) with slack for the preceding interrupt and
+  // dispatch charges.
+  int64_t idle_ready_threshold = 3'000'000;
+};
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  uint64_t vessel_checks = 0;  // snapshots asserted
+  bool ok() const { return violations.empty(); }
+  // All violations joined, for test failure messages.
+  std::string Summary() const;
+};
+
+CheckResult CheckInvariants(const std::vector<Record>& records,
+                            const CheckOptions& options = {});
+
+}  // namespace sa::trace
+
+#endif  // SA_TRACE_INVARIANTS_H_

@@ -1,0 +1,99 @@
+#include "src/trace/trace.h"
+
+#include <chrono>
+
+#include "src/common/assert.h"
+
+namespace sa::trace {
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kSpanBegin: return "span-begin";
+    case Kind::kSpanEnd: return "span-end";
+    case Kind::kSpanPreempt: return "span-preempt";
+    case Kind::kSpanOpen: return "span-open";
+    case Kind::kSpanClose: return "span-close";
+    case Kind::kSyscall: return "syscall";
+    case Kind::kThreadReady: return "thread-ready";
+    case Kind::kThreadBlock: return "thread-block";
+    case Kind::kThreadWake: return "thread-wake";
+    case Kind::kDispatch: return "dispatch";
+    case Kind::kTimeslice: return "timeslice";
+    case Kind::kIoComplete: return "io-complete";
+    case Kind::kPageFault: return "page-fault";
+    case Kind::kProcGrant: return "proc-grant";
+    case Kind::kProcRevoke: return "proc-revoke";
+    case Kind::kProcDesired: return "proc-desired";
+    case Kind::kUpcallQueued: return "upcall-queued";
+    case Kind::kUpcallDeliver: return "upcall-deliver";
+    case Kind::kUpcallEvent: return "upcall-event";
+    case Kind::kDowncallAddProcs: return "downcall-add-processors";
+    case Kind::kDowncallIdle: return "downcall-idle";
+    case Kind::kVessel: return "vessel";
+    case Kind::kUpcallFaultBegin: return "upcall-fault-begin";
+    case Kind::kUpcallFaultEnd: return "upcall-fault-end";
+    case Kind::kDebugStop: return "debug-stop";
+    case Kind::kDebugResume: return "debug-resume";
+    case Kind::kUltDispatch: return "ult-dispatch";
+    case Kind::kUltSteal: return "ult-steal";
+    case Kind::kUltIdle: return "ult-idle";
+    case Kind::kUltIdleWake: return "ult-idle-wake";
+    case Kind::kUltCsRecover: return "ult-cs-recover";
+    case Kind::kUltReady: return "ult-ready";
+    case Kind::kUltRunnable: return "ult-runnable";
+    case Kind::kUltUnbind: return "ult-unbind";
+    case Kind::kFibSpawn: return "fib-spawn";
+    case Kind::kFibSwitch: return "fib-switch";
+    case Kind::kFibSteal: return "fib-steal";
+    case Kind::kFibPark: return "fib-park";
+    case Kind::kFibWake: return "fib-wake";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceBuffer::Emit(Kind kind, int64_t ts, int cpu, int as_id, uint64_t arg0,
+                       uint64_t arg1) {
+  const uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  Record& r = ring_[slot % ring_.size()];
+  r.ts = ts;
+  r.cpu = static_cast<int32_t>(cpu);
+  r.as_id = static_cast<int32_t>(as_id);
+  r.kind = static_cast<uint16_t>(kind);
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+}
+
+std::vector<Record> TraceBuffer::Snapshot() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  const size_t cap = ring_.size();
+  std::vector<Record> out;
+  if (total <= cap) {
+    out.assign(ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(total));
+    return out;
+  }
+  out.reserve(cap);
+  const size_t start = static_cast<size_t>(total % cap);
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(start), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(start));
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  const uint64_t cap = ring_.size();
+  return total > cap ? total - cap : 0;
+}
+
+void TraceBuffer::Clear() {
+  next_.store(0, std::memory_order_relaxed);
+}
+
+int64_t HostNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sa::trace

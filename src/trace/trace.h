@@ -1,0 +1,186 @@
+// Deterministic event tracing (DESIGN.md §10).
+//
+// A TraceBuffer is a preallocated ring of fixed-size records.  Emission is a
+// bounds check plus a relaxed atomic slot claim — cheap enough to leave
+// compiled in for simulation runs, and safe to call from the native fiber
+// pool's worker threads (records are read back only after the pool has
+// quiesced).  Records carry the *virtual* clock for simulated components and
+// the host monotonic clock for the native fiber pool, so a simulated run's
+// trace is a pure function of its seed.
+//
+// Two switches:
+//   - compile time: build with -DSA_TRACE_ENABLED=0 (cmake -DSA_TRACE=OFF)
+//     and every emission macro compiles to nothing; the library itself still
+//     builds so tools keep linking.
+//   - run time: per-category bitmask (set_enabled).  Default: all off; a
+//     buffer only records what a harness or test explicitly asks for.
+
+#ifndef SA_TRACE_TRACE_H_
+#define SA_TRACE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef SA_TRACE_ENABLED
+#define SA_TRACE_ENABLED 1
+#endif
+
+namespace sa::trace {
+
+// Record categories (bitmask for runtime enable).
+namespace cat {
+inline constexpr uint32_t kProcessor = 1u << 0;  // hw::Processor spans
+inline constexpr uint32_t kKernel = 1u << 1;     // syscalls, blocks, wakes
+inline constexpr uint32_t kAlloc = 1u << 2;      // processor allocator
+inline constexpr uint32_t kUpcall = 1u << 3;     // SA upcalls/downcalls
+inline constexpr uint32_t kUlt = 1u << 4;        // FastThreads package
+inline constexpr uint32_t kFibers = 1u << 5;     // native fiber pool (host clock)
+inline constexpr uint32_t kAll = 0xffffffffu;
+}  // namespace cat
+
+// Event kinds.  Values are part of the exported trace format; append only.
+enum class Kind : uint16_t {
+  // cat::kProcessor — arg0 = SpanMode, arg1 = duration (end/preempt: elapsed).
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kSpanPreempt = 3,   // span cut short by RequestInterrupt
+  kSpanOpen = 4,      // open (untimed) span begins
+  kSpanClose = 5,     // open span ends; arg1 = elapsed
+
+  // cat::kKernel — arg0 = thread id unless noted.
+  kSyscall = 16,      // arg0 = Syscall id (below), arg1 = thread id
+  kThreadReady = 17,  // thread entered a kernel ready queue
+  kThreadBlock = 18,  // arg1 = BlockReason (below)
+  kThreadWake = 19,   // I/O or wait completed; thread is runnable again
+  kDispatch = 20,     // kernel placed thread on a processor
+  kTimeslice = 21,    // quantum expiry preemption, arg0 = thread id
+  kIoComplete = 22,   // arg0 = thread id
+  kPageFault = 23,    // arg0 = thread id, arg1 = page
+
+  // cat::kAlloc.
+  kProcGrant = 32,    // cpu granted to as_id
+  kProcRevoke = 33,   // cpu revoked from as_id
+  kProcDesired = 34,  // arg0 = desired, arg1 = currently assigned
+
+  // cat::kUpcall.
+  kUpcallQueued = 48,     // arg0 = UpcallEvent::Kind, arg1 = activation id
+  kUpcallDeliver = 49,    // arg0 = batch size, arg1 = fresh activation id
+  kUpcallEvent = 50,      // one per delivered event; arg0 = kind, arg1 = act
+  kDowncallAddProcs = 51,  // Table 3: arg0 = additional processors wanted
+  kDowncallIdle = 52,      // Table 3: this activation's processor is idle
+  kVessel = 53,       // arg0 = running activations, arg1 = assigned processors
+  kUpcallFaultBegin = 54,  // upcall path took a page fault; delivery delayed
+  kUpcallFaultEnd = 55,
+  kDebugStop = 56,    // arg0 = activation id (§4.4)
+  kDebugResume = 57,
+
+  // cat::kUlt — arg0 = vcpu index unless noted.
+  kUltDispatch = 64,   // arg1 = thread id
+  kUltSteal = 65,      // arg0 = thief vcpu, arg1 = victim vcpu
+  kUltIdle = 66,       // vcpu found no work
+  kUltIdleWake = 67,   // idle-spinning vcpu woken by EnqueueReady
+  kUltCsRecover = 68,  // critical-section recovery: arg1 = thread id
+  kUltReady = 69,      // thread made ready; arg0 = thread id, arg1 = runnable
+  kUltRunnable = 70,   // runnable count changed; arg1 = runnable
+  kUltUnbind = 71,     // vcpu lost its processor (revocation/idle return)
+
+  // cat::kFibers — host-clock records from the native pool.
+  kFibSpawn = 80,
+  kFibSwitch = 81,
+  kFibSteal = 82,
+  kFibPark = 83,
+  kFibWake = 84,
+};
+
+const char* KindName(Kind kind);
+
+// arg0 of kSyscall.
+enum class Syscall : uint64_t {
+  kFork = 1,
+  kExit = 2,
+  kBlockIo = 3,
+  kPageFault = 4,
+  kBlockWait = 5,
+  kYield = 6,
+  kWakeup = 7,
+};
+
+// 40-byte fixed record.  `ts` is virtual nanoseconds for simulated
+// categories and host monotonic nanoseconds for cat::kFibers.  `cpu` and
+// `as_id` are -1 when not applicable.
+struct Record {
+  int64_t ts = 0;
+  int32_t cpu = -1;
+  int32_t as_id = -1;
+  uint16_t kind = 0;
+  uint16_t reserved = 0;   // alignment; keeps the layout explicit
+  uint32_t pad = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+static_assert(sizeof(Record) == 40, "trace records are 40 bytes");
+
+class TraceBuffer {
+ public:
+  // Capacity is fixed at construction; the ring never allocates afterwards.
+  explicit TraceBuffer(size_t capacity = 1u << 20);
+
+  // Runtime category switch.  Emission for a disabled category is a single
+  // branch.  Not thread-safe against concurrent Emit; set before the run.
+  void set_enabled(uint32_t mask) { enabled_.store(mask, std::memory_order_relaxed); }
+  uint32_t enabled_mask() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled(uint32_t category) const {
+#if SA_TRACE_ENABLED
+    return (enabled_.load(std::memory_order_relaxed) & category) != 0;
+#else
+    (void)category;
+    return false;
+#endif
+  }
+
+  // Appends a record.  Thread-safe (relaxed slot claim); oldest records are
+  // overwritten once the ring wraps.
+  void Emit(Kind kind, int64_t ts, int cpu, int as_id, uint64_t arg0, uint64_t arg1);
+
+  // Records in emission order (oldest surviving first).  Only call after all
+  // emitters have quiesced (simulation finished / fiber pool joined).
+  std::vector<Record> Snapshot() const;
+
+  // Total records ever emitted, including ones overwritten by wrapping.
+  uint64_t total_emitted() const { return next_.load(std::memory_order_relaxed); }
+  // Records lost to ring wrap-around.
+  uint64_t dropped() const;
+  size_t capacity() const { return ring_.size(); }
+
+  void Clear();
+
+ private:
+  std::vector<Record> ring_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint32_t> enabled_{0};
+};
+
+// Host monotonic clock in nanoseconds, for cat::kFibers records.
+int64_t HostNow();
+
+}  // namespace sa::trace
+
+// Emission macro for simulated components: compiles out entirely under
+// SA_TRACE_ENABLED=0.  `buf` is a TraceBuffer* (may be null).
+#if SA_TRACE_ENABLED
+#define SA_TRACE_EMIT(buf, category, kind, ts, cpu, as_id, a0, a1)      \
+  do {                                                                  \
+    ::sa::trace::TraceBuffer* sa_tb_ = (buf);                           \
+    if (sa_tb_ != nullptr && sa_tb_->enabled(category)) {               \
+      sa_tb_->Emit((kind), (ts), (cpu), (as_id), (a0), (a1));           \
+    }                                                                   \
+  } while (0)
+#else
+#define SA_TRACE_EMIT(buf, category, kind, ts, cpu, as_id, a0, a1) \
+  do {                                                             \
+  } while (0)
+#endif
+
+#endif  // SA_TRACE_TRACE_H_

@@ -23,6 +23,23 @@ FastThreads::FastThreads(kern::Kernel* kernel, kern::AddressSpace* as, UltConfig
   backend_->Attach(this);
 }
 
+bool FastThreads::TraceOn() const {
+  trace::TraceBuffer* tb = kernel_->engine().tracer();
+  return tb != nullptr && tb->enabled(trace::cat::kUlt);
+}
+
+void FastThreads::TraceUlt(trace::Kind kind, int cpu, uint64_t a0, uint64_t a1) {
+  kernel_->engine().TraceEmit(trace::cat::kUlt, kind, cpu, as_->id(), a0, a1);
+}
+
+size_t FastThreads::QueuedReady() const {
+  size_t n = 0;
+  for (const auto& v : vcpus_) {
+    n += v->ready.size();
+  }
+  return n;
+}
+
 int FastThreads::CreateLock(rt::LockKind kind) {
   locks_.push_back(std::make_unique<UltLock>());
   locks_.back()->kind = kind;
@@ -67,6 +84,9 @@ Tcb* FastThreads::SpawnThread(rt::WorkThread* w) {
   t->state = Tcb::State::kReady;
   ++runnable_;
   vcpus_[0]->ready.PushFront(t);
+  if (TraceOn()) {
+    TraceUlt(trace::Kind::kUltReady, -1, static_cast<uint64_t>(t->id), QueuedReady());
+  }
   return t;
 }
 
@@ -141,6 +161,11 @@ Tcb* FastThreads::Steal(Vcpu* v) {
     if (best != nullptr) {
       best_victim->ready.Remove(best);
       ++counters_.steals;
+      if (TraceOn()) {
+        TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
+                 static_cast<uint64_t>(v->index),
+                 static_cast<uint64_t>(best_victim->index));
+      }
     }
     return best;
   }
@@ -149,6 +174,10 @@ Tcb* FastThreads::Steal(Vcpu* v) {
     Tcb* t = victim->ready.PopBack();  // oldest first from a remote list
     if (t != nullptr) {
       ++counters_.steals;
+      if (TraceOn()) {
+        TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
+                 static_cast<uint64_t>(v->index), static_cast<uint64_t>(victim->index));
+      }
       return t;
     }
   }
@@ -193,6 +222,12 @@ void FastThreads::Dispatch(Vcpu* v) {
     if (next != nullptr) {
       // Charge the scan separately, then fall through to the dispatch charge.
       Tcb* stolen = next;
+      if (TraceOn()) {
+        TraceUlt(trace::Kind::kUltDispatch, v->proc()->id(),
+                 static_cast<uint64_t>(v->index), static_cast<uint64_t>(stolen->id));
+        TraceUlt(trace::Kind::kUltRunnable, v->proc()->id(),
+                 static_cast<uint64_t>(v->index), QueuedReady());
+      }
       ChargeMgmt(v, kernel_->costs().ult_steal_scan, [this, v, stolen] {
         const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
                                      (stolen->resume_check
@@ -209,9 +244,19 @@ void FastThreads::Dispatch(Vcpu* v) {
   }
   if (next == nullptr) {
     ++counters_.idles;
+    if (TraceOn()) {
+      TraceUlt(trace::Kind::kUltIdle, v->proc()->id(),
+               static_cast<uint64_t>(v->index), 0);
+    }
     v->idle_spinning = true;
     backend_->OnIdle(v);
     return;
+  }
+  if (TraceOn()) {
+    TraceUlt(trace::Kind::kUltDispatch, v->proc()->id(),
+             static_cast<uint64_t>(v->index), static_cast<uint64_t>(next->id));
+    TraceUlt(trace::Kind::kUltRunnable, v->proc()->id(),
+             static_cast<uint64_t>(v->index), QueuedReady());
   }
   const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
                                (next->resume_check ? backend_->ResumeCheckOverhead() : 0);
@@ -244,6 +289,10 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
   }
   if (best == nullptr) {
     ++counters_.idles;
+    if (TraceOn()) {
+      TraceUlt(trace::Kind::kUltIdle, v->proc()->id(),
+               static_cast<uint64_t>(v->index), 0);
+    }
     v->idle_spinning = true;
     backend_->OnIdle(v);
     return;
@@ -254,6 +303,16 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
   if (owner != v) {
     ++counters_.steals;
     charge += kernel_->costs().ult_steal_scan;
+    if (TraceOn()) {
+      TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
+               static_cast<uint64_t>(v->index), static_cast<uint64_t>(owner->index));
+    }
+  }
+  if (TraceOn()) {
+    TraceUlt(trace::Kind::kUltDispatch, v->proc()->id(),
+             static_cast<uint64_t>(v->index), static_cast<uint64_t>(best->id));
+    TraceUlt(trace::Kind::kUltRunnable, v->proc()->id(),
+             static_cast<uint64_t>(v->index), QueuedReady());
   }
   ChargeMgmt(v, charge, [this, v, best] {
     ++counters_.dispatches;
@@ -297,8 +356,31 @@ void FastThreads::EnqueueReady(Vcpu* from, Tcb* t, bool front) {
       w->idle_spinning = false;
       backend_->OnIdleWake(w.get());
       w->ready.PushFront(t);
+      if (TraceOn()) {
+        TraceUlt(trace::Kind::kUltReady, w->proc()->id(),
+                 static_cast<uint64_t>(t->id), QueuedReady());
+        TraceUlt(trace::Kind::kUltIdleWake, w->proc()->id(),
+                 static_cast<uint64_t>(w->index), static_cast<uint64_t>(t->id));
+      }
       w->proc()->EndOpenSpan();
       Dispatch(w.get());
+      return;
+    }
+  }
+  // Lost-wakeup hardening: a vcpu whose backend is mid idle-downcall has
+  // wakes blocked (idle_spinning false, span closed) but re-checks for work
+  // via EndIdleTransition when the downcall returns.  Park the thread on
+  // that vcpu's own list so the re-check finds it by construction — the
+  // alternative (enqueue on `from`, rely on the re-check's remote-list scan)
+  // made pickup depend on every transition path remembering to rescan.
+  for (auto& w : vcpus_) {
+    if (w->bound && w->idle_transition) {
+      ++counters_.idle_handoffs;
+      w->ready.PushFront(t);
+      if (TraceOn()) {
+        TraceUlt(trace::Kind::kUltReady, w->proc()->id(),
+                 static_cast<uint64_t>(t->id), QueuedReady());
+      }
       return;
     }
   }
@@ -307,6 +389,33 @@ void FastThreads::EnqueueReady(Vcpu* from, Tcb* t, bool front) {
     target->ready.PushFront(t);
   } else {
     target->ready.PushBack(t);
+  }
+  if (TraceOn()) {
+    TraceUlt(trace::Kind::kUltReady,
+             target->bound ? target->proc()->id() : -1,
+             static_cast<uint64_t>(t->id), QueuedReady());
+  }
+}
+
+void FastThreads::BeginIdleTransition(Vcpu* v) {
+  v->idle_spinning = false;  // block wakes during the downcall
+  v->idle_transition = true;
+}
+
+void FastThreads::EndIdleTransition(Vcpu* v) {
+  if (!v->idle_transition) {
+    return;  // slot was unbound or rebound while the downcall was in flight
+  }
+  v->idle_transition = false;
+  if (v->bound && v->current == nullptr) {
+    Dispatch(v);  // picks up anything parked here (or elsewhere) meanwhile
+  }
+}
+
+void FastThreads::NoteUnbound(Vcpu* v, int processor_id) {
+  if (TraceOn()) {
+    TraceUlt(trace::Kind::kUltUnbind, processor_id,
+             static_cast<uint64_t>(v->index), 0);
   }
 }
 
@@ -598,6 +707,10 @@ void FastThreads::DoYield(Tcb* t) {
     t->state = Tcb::State::kReady;
     t->vcpu = nullptr;
     v2->ready.PushBack(t);  // back of the list: round-robin among peers
+    if (TraceOn()) {
+      TraceUlt(trace::Kind::kUltReady, v2->proc()->id(),
+               static_cast<uint64_t>(t->id), QueuedReady());
+    }
     v2->current = nullptr;
     backend_->OnThreadUnloaded(v2);
     Dispatch(v2);
@@ -646,6 +759,10 @@ void FastThreads::RecoverOrReady(Vcpu* v, Tcb* t, std::function<void(Vcpu*)> aft
     ++kernel_->counters().cs_recoveries;
     t->cs_recovery = true;
     t->recovery_after = std::move(after);
+    if (TraceOn()) {
+      TraceUlt(trace::Kind::kUltCsRecover, v->proc()->id(),
+               static_cast<uint64_t>(v->index), static_cast<uint64_t>(t->id));
+    }
     ChargeMgmt(v, kernel_->costs().ult_dispatch, [this, v, t] { ContinueThread(v, t); });
     return;
   }

@@ -48,6 +48,9 @@ struct UltCounters {
   int64_t spin_acquires = 0;
   int64_t spin_contended = 0;
   int64_t idles = 0;
+  // Threads made ready during an idle transition, parked on the
+  // transitioning vcpu's list for its end-of-downcall re-check.
+  int64_t idle_handoffs = 0;
 };
 
 class FastThreads {
@@ -104,6 +107,25 @@ class FastThreads {
   // (kernel-thread backend): resume the coroutine.
   void ResumeAfterKernel(Vcpu* v, Tcb* t);
 
+  // Idle transitions.  A backend that must block wakes while it notifies the
+  // kernel of an idle processor (the downcall runs with idle_spinning
+  // cleared and no open span, so EnqueueReady's wake scan skips the vcpu)
+  // brackets the window with these.  EndIdleTransition re-checks for work
+  // that arrived meanwhile — EnqueueReady parks such threads on the
+  // transitioning vcpu's own list, so the re-check finds them by
+  // construction rather than relying on every caller to rescan remote
+  // lists.  EndIdleTransition is a no-op if the slot was unbound or rebound
+  // while the downcall was in flight (those paths re-dispatch themselves).
+  void BeginIdleTransition(Vcpu* v);
+  void EndIdleTransition(Vcpu* v);
+
+  // Backend notification that `v` is losing its processor (revocation or
+  // idle return).  Emits the trace record that closes the vcpu's idle
+  // interval — without it the invariant checker would read a processor-less
+  // vcpu as idle-spinning while work queues for the space's remaining
+  // processors.
+  void NoteUnbound(Vcpu* v, int processor_id);
+
   // Critical-section recovery (Section 3.3): `t` arrived from the kernel
   // stopped while holding a spinlock.  Continue it on `v` until it exits the
   // critical section, then run `after` with the vcpu on which processing
@@ -149,6 +171,15 @@ class FastThreads {
   void FreeTcb(Vcpu* v, Tcb* t);
   Tcb* PopLocal(Vcpu* v);
   Tcb* Steal(Vcpu* v);
+
+  // Tracing (cat::kUlt).  TraceOn() gates sites whose arguments (queued
+  // ready count) cost something to compute.
+  bool TraceOn() const;
+  void TraceUlt(trace::Kind kind, int cpu, uint64_t a0, uint64_t a1);
+  // Threads sitting on ready lists (excludes running/spinning threads);
+  // kUltReady/kUltRunnable records carry this so the trace checker can tell
+  // a legitimately idle vcpu from one idling above unclaimed work.
+  size_t QueuedReady() const;
 
   kern::Kernel* kernel_;
   kern::AddressSpace* as_;

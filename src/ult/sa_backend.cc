@@ -51,6 +51,7 @@ Vcpu* SaBackend::BindSlot(kern::KThread* kt) {
     v->kt = kt;
     v->current = nullptr;
     v->idle_spinning = false;
+    v->idle_transition = false;
     v->idle_notified = false;
     v->hysteresis.Cancel();
     return v;
@@ -62,6 +63,7 @@ Vcpu* SaBackend::BindSlot(kern::KThread* kt) {
       candidate->kt = kt;
       candidate->current = nullptr;
       candidate->idle_spinning = false;
+      candidate->idle_transition = false;
       candidate->idle_notified = false;
       by_proc_[pid] = candidate;
       return candidate;
@@ -71,10 +73,12 @@ Vcpu* SaBackend::BindSlot(kern::KThread* kt) {
 }
 
 void SaBackend::UnbindSlot(Vcpu* v, int processor_id) {
+  ft_->NoteUnbound(v, processor_id);
   v->bound = false;
   v->kt = nullptr;
   v->current = nullptr;
   v->idle_spinning = false;
+  v->idle_transition = false;
   v->idle_notified = false;
   v->hysteresis.Cancel();
   by_proc_.erase(processor_id);
@@ -322,11 +326,11 @@ void SaBackend::OnIdle(Vcpu* v) {
   if (!ft_->config().idle_hysteresis) {
     if (!v->idle_notified) {
       v->idle_notified = true;
-      v->idle_spinning = false;  // block wakes during the downcall
+      ft_->BeginIdleTransition(v);
       space_->DowncallProcessorIdle(v->kt, [this, v] {
-        if (v->bound) {
-          ft_->Dispatch(v);  // re-check; re-enters OnIdle if still nothing
-        }
+        // Re-check; re-enters OnIdle if still nothing.  Work that arrived
+        // during the downcall was parked on v's list by EnqueueReady.
+        ft_->EndIdleTransition(v);
       });
       return;
     }
@@ -347,13 +351,11 @@ void SaBackend::OnIdle(Vcpu* v) {
         if (!vp->bound || !vp->idle_spinning) {
           return;  // got work or lost the processor in the meantime
         }
-        vp->idle_spinning = false;  // block wakes during the downcall
+        ft_->BeginIdleTransition(vp);
         vp->proc()->EndOpenSpan();
         vp->idle_notified = true;
         space_->DowncallProcessorIdle(vp->kt, [this, vp] {
-          if (vp->bound) {
-            ft_->Dispatch(vp);
-          }
+          ft_->EndIdleTransition(vp);
         });
       });
 }

@@ -86,6 +86,11 @@ struct Vcpu {
   common::IntrusiveList<Tcb, &Tcb::qnode> ready;  // LIFO (Section 4.2)
   std::vector<Tcb*> free_tcbs;                    // unlocked per-vcpu free list
   bool idle_spinning = false;
+  // Inside an idle transition: the backend cleared idle_spinning to run the
+  // idle-notification downcall, and will call EndIdleTransition when it
+  // returns.  EnqueueReady parks work on this vcpu's own list meanwhile so
+  // the end-of-transition re-check cannot miss it.
+  bool idle_transition = false;
   bool idle_notified = false;  // told the kernel this processor is idle
   sim::EventHandle hysteresis;
 

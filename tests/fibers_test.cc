@@ -12,6 +12,39 @@
 namespace sa::fibers {
 namespace {
 
+TEST(Fibers, TracerRecordsHostClockEvents) {
+#if !SA_TRACE_ENABLED
+  GTEST_SKIP() << "built with SA_TRACE=OFF";
+#else
+  trace::TraceBuffer tb(1u << 14);
+  tb.set_enabled(trace::cat::kFibers);
+  std::atomic<int> ran{0};
+  {
+    FiberPool pool(2);
+    pool.set_tracer(&tb);
+    std::vector<FiberHandle> handles;
+    for (int i = 0; i < 32; ++i) {
+      handles.push_back(pool.Spawn([&] { ran.fetch_add(1); }));
+    }
+    for (auto& h : handles) {
+      pool.Join(h);
+    }
+  }  // pool joined: workers have quiesced, the buffer is safe to read
+  EXPECT_EQ(ran, 32);
+  size_t spawns = 0;
+  size_t switches = 0;
+  for (const trace::Record& r : tb.Snapshot()) {
+    if (static_cast<trace::Kind>(r.kind) == trace::Kind::kFibSpawn) {
+      ++spawns;
+    } else if (static_cast<trace::Kind>(r.kind) == trace::Kind::kFibSwitch) {
+      ++switches;
+    }
+  }
+  EXPECT_EQ(spawns, 32u);
+  EXPECT_GE(switches, 32u);
+#endif
+}
+
 TEST(Fibers, RunsASingleFiber) {
   FiberPool pool(1);
   std::atomic<int> ran{0};

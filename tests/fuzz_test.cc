@@ -12,6 +12,7 @@
 #include "src/apps/synthetic.h"
 #include "src/rt/harness.h"
 #include "src/rt/topaz_runtime.h"
+#include "src/trace/invariants.h"
 #include "src/ult/ult_runtime.h"
 
 namespace sa {
@@ -79,12 +80,21 @@ TEST_P(RandomProgramFuzz, TerminatesWithAllThreadsFinished) {
   };
   if (sys == Sys::kNewFt) {
     h.engine().ScheduleAfter(sim::Usec(700), audit);
+    h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
   }
 
   h.Run();  // SA_CHECKs inside would abort on protocol violations
   EXPECT_EQ(rt->threads_finished(), rt->threads_created());
   EXPECT_GE(rt->threads_created(), 6u);
   EXPECT_EQ(violations, 0);
+#if SA_TRACE_ENABLED
+  if (sys == Sys::kNewFt) {
+    // Trace replay covers every transition, not just the periodic audit.
+    const trace::CheckResult result = trace::CheckInvariants(h.trace()->Snapshot());
+    EXPECT_TRUE(result.ok()) << result.Summary();
+    EXPECT_GT(result.vessel_checks, 0u);
+  }
+#endif
 }
 
 std::string FuzzName(const ::testing::TestParamInfo<std::tuple<Sys, uint64_t>>& info) {

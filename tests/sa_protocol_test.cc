@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/rt/harness.h"
+#include "src/trace/invariants.h"
 #include "src/ult/ult_runtime.h"
 
 namespace sa {
@@ -21,6 +22,25 @@ ult::UltConfig Vcpus(int n) {
   ult::UltConfig c;
   c.max_vcpus = n;
   return c;
+}
+
+// Runs the harness with upcall + ULT tracing enabled, then replays the trace
+// through the invariant checker (DESIGN.md §10): every protocol transition
+// must leave running activations == assigned processors, and no vcpu may
+// idle-spin past the threshold while ready threads are queued.
+sim::Time RunChecked(rt::Harness& h) {
+  if (h.trace() == nullptr) {
+    h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
+  }
+  const sim::Time elapsed = h.Run();
+#if SA_TRACE_ENABLED
+  // With SA_TRACE=OFF the emission sites compile out; the protocol behavior
+  // under test is unchanged, only the replay check is unavailable.
+  const trace::CheckResult result = trace::CheckInvariants(h.trace()->Snapshot());
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_GT(result.vessel_checks, 0u);
+#endif
+  return elapsed;
 }
 
 rt::WorkloadFn IoComputeLoop(int iters) {
@@ -57,7 +77,7 @@ TEST(SaProtocol, VesselInvariantHoldsThroughout) {
     }
   };
   h.engine().ScheduleAfter(sim::Usec(300), audit);
-  h.Run();
+  RunChecked(h);
   EXPECT_GT(checks, 100);
   EXPECT_EQ(violations, 0);
   EXPECT_EQ(ft.threads_finished(), 5u);
@@ -77,7 +97,7 @@ TEST(SaProtocol, BlockedThreadFreesItsProcessorViaUpcall) {
   ft.Spawn([](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(14)); },
            "cpu-worker");
   ft.Spawn(IoComputeLoop(3), "io-worker");
-  const sim::Time elapsed = h.Run();
+  const sim::Time elapsed = RunChecked(h);
   const auto& c = h.kernel().counters();
   EXPECT_GE(c.upcalls_blocked, 3);
   EXPECT_GE(c.upcalls_unblocked, 3);
@@ -94,7 +114,7 @@ TEST(SaProtocol, EventsAreCombinedIntoSingleUpcalls) {
   for (int i = 0; i < 4; ++i) {
     ft.Spawn(IoComputeLoop(8), "worker");
   }
-  h.Run();
+  RunChecked(h);
   const auto& c = h.kernel().counters();
   // An unblocked notification that preempts a busy processor delivers two
   // events in one upcall, so total events must exceed total upcalls.
@@ -107,7 +127,7 @@ TEST(SaProtocol, ActivationsAreRecycledInBulk) {
                      Vcpus(1));
   h.AddRuntime(&ft);
   ft.Spawn(IoComputeLoop(50), "worker");
-  h.Run();
+  RunChecked(h);
   const auto& c = h.kernel().counters();
   // 50 block/unblock cycles create ~100 fresh-activation needs; with the
   // recycle cache the number of real allocations stays small.
@@ -124,7 +144,7 @@ TEST(SaProtocol, RecyclingOffAllocatesEveryTime) {
                      Vcpus(1));
   h.AddRuntime(&ft);
   ft.Spawn(IoComputeLoop(50), "worker");
-  h.Run();
+  RunChecked(h);
   const auto& c = h.kernel().counters();
   EXPECT_EQ(c.activation_reuses, 0);
   EXPECT_GT(c.activation_allocs, 80);
@@ -146,7 +166,7 @@ TEST(SaProtocol, IdleProcessorIsReturnedAfterHysteresis) {
     co_await t.Compute(sim::Msec(2));
   },
            "short");
-  h.Run();
+  RunChecked(h);
   EXPECT_GT(h.kernel().counters().downcalls_idle, 0);
 }
 
@@ -190,7 +210,7 @@ TEST(SaProtocol, MultiprogrammingSpaceSharesProcessors) {
     }
   };
   h.engine().ScheduleAfter(sim::Msec(5), audit);
-  h.Run();
+  RunChecked(h);
   EXPECT_TRUE(saw_even_split);
   EXPECT_GE(h.kernel().counters().upcalls_preempted, 1);
   EXPECT_EQ(a.threads_finished(), 4u);
@@ -216,7 +236,7 @@ TEST(SaProtocol, LastProcessorPreemptionDelaysNotification) {
     co_await t.Compute(sim::Msec(10));
   },
            "hi-main");
-  h.Run();
+  RunChecked(h);
   const auto& c = h.kernel().counters();
   EXPECT_GE(c.delayed_notifications, 1);
   EXPECT_EQ(lo.threads_finished(), 1u);
@@ -254,7 +274,7 @@ TEST(SaProtocol, CriticalSectionRecoveryPreventsSpinWaste) {
     co_await t.Compute(sim::Msec(40));
   },
           "intruder");
-  h.Run();
+  RunChecked(h);
   EXPECT_EQ(shared, 400);
   EXPECT_GE(h.kernel().counters().cs_recoveries, 1);
 }
@@ -271,6 +291,7 @@ TEST(SaProtocol, DebuggerStopIsInvisibleToThreadSystem) {
         finished = true;
       },
       "debuggee");
+  h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
   h.Start();
   // Let it run 2 ms, then debugger-stop the running activation for 5 ms.
   h.engine().ScheduleAfter(sim::Msec(2), [&] {
@@ -285,7 +306,7 @@ TEST(SaProtocol, DebuggerStopIsInvisibleToThreadSystem) {
       ft.sa_backend()->space()->DebuggerResume(act);
     });
   });
-  const sim::Time elapsed = h.Run();
+  const sim::Time elapsed = RunChecked(h);
   EXPECT_TRUE(finished);
   // The 5 ms stop delayed completion past 10 ms.
   EXPECT_GT(sim::ToMsec(elapsed), 14.0);

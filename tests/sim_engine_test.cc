@@ -62,6 +62,123 @@ TEST(Engine, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+// Regression: pending_events() used to report the raw heap size, which
+// includes lazily-cancelled entries.  Schedule N, cancel N-1: the count must
+// be exactly 1, not N.
+TEST(Engine, PendingEventsExcludesCancelled) {
+  Engine e;
+  constexpr int kN = 10;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < kN; ++i) {
+    handles.push_back(e.ScheduleAt(Usec(i + 1), [] {}));
+  }
+  EXPECT_EQ(e.pending_events(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN - 1; ++i) {
+    EXPECT_TRUE(handles[static_cast<size_t>(i)].Cancel());
+  }
+  EXPECT_EQ(e.pending_events(), 1u);
+  int fired = 0;
+  e.ScheduleAt(Usec(100), [&] { ++fired; });  // keep the survivor company
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_EQ(e.events_fired(), 2u);  // cancelled events never fire
+}
+
+// The heap compacts once more than half its entries are dead; cancellation
+// bookkeeping must stay exact across the rebuild and the surviving events
+// must still fire in order.
+TEST(Engine, CompactionPreservesLiveEvents) {
+  Engine e;
+  constexpr int kN = 1000;
+  std::vector<EventHandle> handles;
+  std::vector<int> order;
+  for (int i = 0; i < kN; ++i) {
+    handles.push_back(
+        e.ScheduleAt(Usec(i + 1), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel all the odd ones (well past the >50% dead threshold together with
+  // interleaved scheduling below).
+  for (int i = 1; i < kN; i += 2) {
+    EXPECT_TRUE(handles[static_cast<size_t>(i)].Cancel());
+  }
+  for (int i = 0; i < kN; i += 2) {
+    if (i % 4 == 0) {
+      EXPECT_TRUE(handles[static_cast<size_t>(i)].Cancel());
+    }
+  }
+  EXPECT_EQ(e.pending_events(), static_cast<size_t>(kN / 4));
+  e.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kN / 4));
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+  // Cancelling after the run is inert.
+  for (auto& h : handles) {
+    EXPECT_FALSE(h.Cancel());
+  }
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+// Contract: Cancel() after the event fired returns false and stays inert —
+// including across Reset() and handle reassignment, and in any order of
+// repeated calls.
+TEST(Engine, CancelAfterFireIsInert) {
+  Engine e;
+  int runs = 0;
+  EventHandle h = e.ScheduleAt(Usec(1), [&] { ++runs; });
+  e.Run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());
+  EXPECT_FALSE(h.Cancel());  // double-cancel after fire
+  EXPECT_EQ(e.pending_events(), 0u);
+
+  // Reassigning the handle to a new event must not resurrect the old state:
+  // the new event is independently cancellable, the old one stays fired.
+  EventHandle old = h;
+  h = e.ScheduleAt(Usec(2), [&] { ++runs; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_FALSE(old.Cancel());
+  EXPECT_TRUE(h.Cancel());
+  e.Run();
+  EXPECT_EQ(runs, 1);
+
+  // Reset() drops the reference; the handle is inert afterwards.
+  EventHandle h2 = e.ScheduleAt(Usec(3), [&] { ++runs; });
+  h2.Reset();
+  EXPECT_FALSE(h2.pending());
+  EXPECT_FALSE(h2.Cancel());
+  e.Run();
+  EXPECT_EQ(runs, 2);  // Reset() is not Cancel(): the event still fires
+}
+
+TEST(Engine, CancelDuringEventCallbackIsCounted) {
+  Engine e;
+  bool victim_ran = false;
+  EventHandle victim = e.ScheduleAt(Usec(10), [&] { victim_ran = true; });
+  e.ScheduleAt(Usec(5), [&] {
+    EXPECT_TRUE(victim.Cancel());
+    EXPECT_EQ(e.pending_events(), 0u);
+  });
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.Run();
+  EXPECT_FALSE(victim_ran);
+}
+
+// A handle may outlive the engine; Cancel() must not touch freed memory.
+TEST(Engine, CancelAfterEngineDestructionIsSafe) {
+  EventHandle h;
+  {
+    Engine e;
+    h = e.ScheduleAt(Usec(1), [] {});
+  }
+  EXPECT_TRUE(h.pending());  // never fired, never cancelled
+  EXPECT_TRUE(h.Cancel());   // flips state only; engine is gone
+  EXPECT_FALSE(h.Cancel());
+}
+
 TEST(Engine, HandleReportsFiredState) {
   Engine e;
   EventHandle h = e.ScheduleAt(Usec(1), [] {});

@@ -10,6 +10,7 @@
 #include "src/common/log.h"
 #include "src/rt/harness.h"
 #include "src/rt/topaz_runtime.h"
+#include "src/trace/invariants.h"
 #include "src/ult/ult_runtime.h"
 
 namespace sa {
@@ -65,7 +66,15 @@ TEST(Soak, MixedSystemsLongRun) {
   };
   h.engine().ScheduleAfter(sim::Usec(900), audit);
 
+  h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
   h.Run();
+#if SA_TRACE_ENABLED
+  // Trace replay audits both SA spaces at every protocol transition, on top
+  // of the coarse periodic audit above.
+  const trace::CheckResult result = trace::CheckInvariants(h.trace()->Snapshot());
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_GT(result.vessel_checks, 0u);
+#endif
   EXPECT_EQ(violations, 0);
   EXPECT_GT(audits, 50);
   EXPECT_EQ(sa_a.threads_finished(), sa_a.threads_created());

@@ -1,0 +1,179 @@
+// Trace layer tests (DESIGN.md §10): ring buffer mechanics, the invariant
+// checker's verdicts on hand-built traces, and end-to-end determinism — the
+// same seeded simulation must export a byte-identical Chrome trace twice.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/experiments.h"
+#include "src/trace/chrome_export.h"
+#include "src/trace/histogram.h"
+#include "src/trace/invariants.h"
+#include "src/trace/trace.h"
+
+namespace sa {
+namespace {
+
+using trace::Kind;
+using trace::Record;
+
+Record Rec(Kind kind, int64_t ts, int cpu, int as_id, uint64_t a0, uint64_t a1) {
+  Record r;
+  r.kind = static_cast<uint16_t>(kind);
+  r.ts = ts;
+  r.cpu = cpu;
+  r.as_id = as_id;
+  r.arg0 = a0;
+  r.arg1 = a1;
+  return r;
+}
+
+TEST(TraceBuffer, DisabledCategoryIsNotRecorded) {
+  trace::TraceBuffer tb(16);
+  tb.set_enabled(trace::cat::kKernel);
+#if SA_TRACE_ENABLED
+  EXPECT_TRUE(tb.enabled(trace::cat::kKernel));
+#else
+  // The compile-time kill switch overrides the runtime mask entirely.
+  EXPECT_FALSE(tb.enabled(trace::cat::kKernel));
+#endif
+  EXPECT_FALSE(tb.enabled(trace::cat::kUlt));
+}
+
+TEST(TraceBuffer, RingWrapKeepsNewestAndCountsDropped) {
+  trace::TraceBuffer tb(8);
+  tb.set_enabled(trace::cat::kAll);
+  for (int i = 0; i < 20; ++i) {
+    tb.Emit(Kind::kSyscall, i, 0, 0, static_cast<uint64_t>(i), 0);
+  }
+  EXPECT_EQ(tb.total_emitted(), 20u);
+  EXPECT_EQ(tb.dropped(), 12u);
+  const std::vector<Record> snap = tb.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().arg0, 12u);  // oldest surviving
+  EXPECT_EQ(snap.back().arg0, 19u);   // newest
+}
+
+TEST(Histogram, QuantilesAndMerge) {
+  trace::LatencyHistogram a;
+  for (int i = 1; i <= 100; ++i) {
+    a.Add(i * 1000);
+  }
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 1000);
+  EXPECT_EQ(a.max(), 100000);
+  // Log2 buckets: quantiles are bucket upper bounds, so only coarse order
+  // is guaranteed.
+  EXPECT_GE(a.Quantile(0.99), a.Quantile(0.5));
+  trace::LatencyHistogram b;
+  b.Add(500);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 101u);
+  EXPECT_EQ(b.min(), 500);
+}
+
+TEST(Invariants, CleanTracePasses) {
+  std::vector<Record> recs = {
+      Rec(Kind::kVessel, 100, -1, 0, 2, 2),
+      Rec(Kind::kUltReady, 150, 0, 0, 7, 1),
+      Rec(Kind::kUltDispatch, 160, 0, 0, 0, 7),
+      Rec(Kind::kUltRunnable, 160, 0, 0, 0, 0),
+      Rec(Kind::kVessel, 200, -1, 0, 1, 1),
+  };
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.vessel_checks, 2u);
+}
+
+TEST(Invariants, VesselMismatchIsViolation) {
+  std::vector<Record> recs = {Rec(Kind::kVessel, 100, -1, 3, 2, 1)};
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_NE(r.Summary().find("vessel invariant violated"), std::string::npos);
+}
+
+TEST(Invariants, VesselMismatchInFaultWindowIsExempt) {
+  std::vector<Record> recs = {
+      Rec(Kind::kUpcallFaultBegin, 100, 0, 0, 0, 0),
+      Rec(Kind::kVessel, 150, -1, 0, 2, 1),
+      Rec(Kind::kUpcallFaultEnd, 200, 0, 0, 0, 0),
+      Rec(Kind::kVessel, 300, -1, 0, 1, 1),
+  };
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(Invariants, IdleWhileReadyPastThresholdIsViolation) {
+  std::vector<Record> recs = {
+      Rec(Kind::kUltReady, 100, 0, 0, 7, 1),           // work queued
+      Rec(Kind::kUltIdle, 200, 1, 0, 1, 0),            // vcpu 1 idles anyway
+      Rec(Kind::kUltDispatch, 10'000'200, 1, 0, 1, 7),  // picked up 10ms later
+  };
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_NE(r.Summary().find("idle processor while ready work"), std::string::npos);
+}
+
+TEST(Invariants, UnbindClosesIdleIntervalWithoutViolation) {
+  // Same shape as above, but the vcpu loses its processor right after going
+  // idle: the 10 ms of queueing afterwards is allocator latency, not a lost
+  // wakeup.
+  std::vector<Record> recs = {
+      Rec(Kind::kUltReady, 100, 0, 0, 7, 1),
+      Rec(Kind::kUltIdle, 200, 1, 0, 1, 0),
+      Rec(Kind::kUltUnbind, 300, 1, 0, 1, 0),
+      Rec(Kind::kUltDispatch, 10'000'200, 1, 0, 1, 7),
+  };
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(Invariants, OpenIdleWindowAtTraceEndIsViolation) {
+  std::vector<Record> recs = {
+      Rec(Kind::kUltReady, 100, 0, 0, 7, 1),
+      Rec(Kind::kUltIdle, 200, 1, 0, 1, 0),
+      Rec(Kind::kSyscall, 20'000'000, 0, 0, 1, 1),  // trace goes on; no pickup
+  };
+  const trace::CheckResult r = trace::CheckInvariants(recs);
+  ASSERT_EQ(r.violations.size(), 1u);
+}
+
+TEST(ChromeExport, PairsSpansAndEscapesNothingUnexpected) {
+  std::vector<Record> recs = {
+      Rec(Kind::kSpanBegin, 1000, 0, 0, 1, 0),
+      Rec(Kind::kSpanEnd, 3000, 0, 0, 1, 2000),
+      Rec(Kind::kUpcallDeliver, 2000, 1, 0, 2, 5),
+  };
+  const std::string json = trace::ExportChromeJson(recs);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // paired span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+// The tentpole determinism guarantee: the smallest Figure-1 configuration,
+// run twice with the same seed and full tracing, exports byte-identical
+// Chrome traces.  Any hidden host state (pointers, wall-clock reads, hash
+// iteration order) in the simulated path would break this.
+TEST(TraceDeterminism, SeededFig1RunExportsByteIdenticalTraces) {
+#if !SA_TRACE_ENABLED
+  GTEST_SKIP() << "built with SA_TRACE=OFF";
+#else
+  const apps::NBodyConfig config;  // bench_fig1's config
+  const apps::DaemonConfig daemons;
+  std::string first;
+  std::string second;
+  apps::RunNBody(apps::SystemKind::kNewFastThreads, /*processors=*/1, config,
+                 daemons, /*copies=*/1, /*seed=*/7, {}, false, &first);
+  apps::RunNBody(apps::SystemKind::kNewFastThreads, /*processors=*/1, config,
+                 daemons, /*copies=*/1, /*seed=*/7, {}, false, &second);
+  ASSERT_GT(first.size(), 1000u);
+  EXPECT_EQ(first, second);
+  // All simulated categories show up.
+  EXPECT_NE(first.find("upcall-deliver"), std::string::npos);
+  EXPECT_NE(first.find("ult-dispatch"), std::string::npos);
+  EXPECT_NE(first.find("syscall"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace sa

@@ -184,6 +184,50 @@ TEST(UltInternals, SaBackendReturnsIdleProcessorsInstead) {
             h.kernel().costs().idle_hysteresis * 2);
 }
 
+TEST(UltInternals, ReadyDuringIdleDowncallIsNotStranded) {
+  // Lost-wakeup regression (EnqueueReady / idle transitions): a thread made
+  // ready while the only idle vcpu is inside its idle-notification downcall
+  // — idle_spinning cleared, no open span, so the wake scan skips it — must
+  // be picked up when the downcall returns.  Nothing else can rescue it: the
+  // scheduler-activation kernel has no time-slice timer, so a stranded
+  // thread means the run drains with threads unfinished.
+  //
+  // Construction: sibling `b` keeps the second processor busy and then lets
+  // it run dry; with hysteresis off the vcpu enters its downcall window
+  // immediately.  The main thread forks `c` at a swept offset so some
+  // iterations land the enqueue inside the window (the idle_handoffs counter
+  // proves the window was actually constructed).  The sweep is wide because
+  // the second processor's grant rides an untuned ~2ms upcall delivery, and
+  // finer than the ~24us downcall window.
+  int64_t handoffs = 0;
+  for (int delay_us = 0; delay_us <= 3600; delay_us += 4) {
+    rt::Harness h(Config(2, kern::KernelMode::kSchedulerActivations));
+    UltConfig uc;
+    uc.max_vcpus = 2;
+    uc.idle_hysteresis = false;
+    UltRuntime ft(&h.kernel(), "app", BackendKind::kSchedulerActivations, uc);
+    h.AddRuntime(&ft);
+    ft.Spawn(
+        [delay_us](rt::ThreadCtx& t) -> sim::Program {
+          const int b = co_await t.Fork(
+              [](rt::ThreadCtx& c) -> sim::Program { co_await c.Compute(sim::Usec(500)); },
+              "b");
+          co_await t.Compute(sim::Usec(delay_us));
+          const int c = co_await t.Fork(
+              [](rt::ThreadCtx& cc) -> sim::Program { co_await cc.Compute(sim::Usec(10)); },
+              "c");
+          co_await t.Join(b);
+          co_await t.Join(c);
+        },
+        "main");
+    const sim::Time elapsed = h.Run();
+    EXPECT_EQ(ft.threads_finished(), 3u) << "fork offset " << delay_us << "us";
+    EXPECT_LT(sim::ToMsec(elapsed), 10.0) << "fork offset " << delay_us << "us";
+    handoffs += ft.fast_threads().counters().idle_handoffs;
+  }
+  EXPECT_GT(handoffs, 0);  // the sweep must actually hit the window
+}
+
 TEST(UltInternals, ManyThreadsOnOneVcpuAllFinish) {
   rt::Harness h(Config(1, kern::KernelMode::kSchedulerActivations));
   UltConfig uc;
