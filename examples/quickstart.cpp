@@ -2,15 +2,23 @@
 // activations and print what the kernel and the thread system did.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --fault-plan=seed=17,io_fail=0.5,io_spike=0.25
 //
 // The workload forks four workers that compute and do one blocking I/O each;
 // watch the add-processor / blocked / unblocked upcall counts: every kernel
 // event was vectored to user level, and no processor idled while a thread
 // was runnable.
+//
+// With --fault-plan, the run replays a fault-injection spec (DESIGN.md §11)
+// — the same one-line format the fault-sweep tests print when a shrunk plan
+// reproduces a failure — and the report grows a robustness-counter line.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "src/inject/fault_plan.h"
 #include "src/rt/harness.h"
 #include "src/rt/report.h"
 #include "src/ult/ult_runtime.h"
@@ -33,12 +41,34 @@ sim::Program Main(rt::ThreadCtx& t) {
   }
 }
 
-int main() {
+int main(int argc, char** argv) {
+  inject::FaultPlan plan;
+  bool injecting = false;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--fault-plan=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      std::string error;
+      if (!inject::FaultPlan::Parse(argv[i] + std::strlen(kFlag), &plan, &error)) {
+        std::fprintf(stderr, "bad fault plan spec: %s\n", error.c_str());
+        return 1;
+      }
+      injecting = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--fault-plan=seed=N,key=value,...]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
   // A four-processor machine running the scheduler-activation kernel.
   rt::HarnessConfig config;
   config.processors = 4;
   config.kernel.mode = kern::KernelMode::kSchedulerActivations;
   rt::Harness harness(config);
+  if (injecting) {
+    std::printf("replaying fault plan: %s\n", plan.ToSpec().c_str());
+    harness.EnableFaultInjection(plan);
+  }
 
   // FastThreads on scheduler activations, up to 4 virtual processors.
   ult::UltConfig uc;

@@ -113,7 +113,8 @@ void SaSpace::QueueEvent(UpcallEvent ev) {
 // §3.1 upcall page-fault window are all instants where the protocol is
 // legitimately mid-transition, so no snapshot is taken.
 void SaSpace::TraceVessel() {
-  if (!pending_.empty() || upcall_requested_ || upcall_fault_pending_) {
+  if (!pending_.empty() || upcall_requested_ || upcall_fault_pending_ ||
+      inject_defers_pending_ > 0) {
     return;
   }
   kernel_->engine().TraceEmit(trace::cat::kUpcall, trace::Kind::kVessel, -1,
@@ -185,6 +186,7 @@ void SaSpace::OnThreadUnblockedInKernel(kern::KThread* unblocked) {
   ev.kind = UpcallEvent::Kind::kUnblocked;
   ev.activation_id = unblocked->activation()->id();
   ev.state = CaptureUserState(unblocked);
+  ev.state.io_failed = unblocked->take_io_failed();
   QueueEvent(std::move(ev));
   EnsureDelivery();
   TraceVessel();
@@ -206,7 +208,10 @@ void SaSpace::OnUpcallProcessorReady(hw::Processor* proc, kern::KThread* stopped
 }
 
 void SaSpace::EnsureDelivery() {
-  if (pending_.empty() || upcall_requested_) {
+  // An injected deferral in flight already has a retry scheduled that will
+  // deliver (or re-enter here); starting another preemption meanwhile would
+  // stop a second processor for the same batch.
+  if (pending_.empty() || upcall_requested_ || inject_defers_pending_ > 0) {
     return;
   }
   UpdateDemand();
@@ -260,6 +265,65 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
     }
     return;
   }
+  // Injected delivery faults (DESIGN.md §11): a denied activation allocation
+  // when delivery would need a fresh one, or a protocol-legal delay of the
+  // upcall itself.  Either defers delivery; the retry re-validates the
+  // processor exactly like the §3.1 fault path above.  An alloc-denial retry
+  // re-enters DeliverOn so a denial burst plays out (bursts are bounded by
+  // the injector); a delayed delivery is never re-delayed.
+  if (inject::FaultInjector* injector = kernel_->injector(); injector != nullptr) {
+    sim::Duration defer = 0;
+    bool redraw = false;
+    const bool needs_fresh_alloc =
+        cache_.empty() || !kernel_->config().recycle_activations;
+    if (needs_fresh_alloc && injector->ShouldDenyActivationAlloc()) {
+      defer = injector->plan().alloc_retry;
+      redraw = true;
+      kernel_->engine().TraceEmit(trace::cat::kInject,
+                                  trace::Kind::kInjectAllocDeny, proc->id(),
+                                  as_->id(), static_cast<uint64_t>(defer));
+    } else if ((defer = injector->UpcallDelay()) > 0) {
+      kernel_->engine().TraceEmit(trace::cat::kInject,
+                                  trace::Kind::kInjectUpcallDelay, proc->id(),
+                                  as_->id(), static_cast<uint64_t>(defer));
+    }
+    if (defer > 0) {
+      ++inject_defers_pending_;
+      kernel_->engine().ScheduleIn(defer, [this, proc, redraw] {
+        --inject_defers_pending_;
+        const bool proc_usable = as_->IsAssigned(proc) && !proc->has_span() &&
+                                 kernel_->running_on(proc) == nullptr;
+        if (pending_.empty()) {
+          // Another delivery path drained the batch meanwhile.  If this
+          // processor is still ours and bare, re-offer it to user level
+          // (protocol-legal "add this processor") instead of stranding it.
+          if (proc_usable) {
+            UpcallEvent ev;
+            ev.kind = UpcallEvent::Kind::kAddProcessor;
+            ev.processor_id = proc->id();
+            QueueEvent(std::move(ev));
+            DeliverNow(proc);
+          }
+          return;
+        }
+        if (proc_usable) {
+          if (redraw) {
+            DeliverOn(proc);
+          } else {
+            DeliverNow(proc);
+          }
+        } else {
+          EnsureDelivery();
+        }
+      });
+      return;
+    }
+  }
+  DeliverNow(proc);
+}
+
+void SaSpace::DeliverNow(hw::Processor* proc) {
+  SA_CHECK(as_->IsAssigned(proc) && !proc->has_span());
   std::vector<UpcallEvent> events = std::move(pending_);
   pending_.clear();
   SA_CHECK(!events.empty());

@@ -91,7 +91,12 @@ class SaSpace : public kern::SaSpaceIface {
   // or waits for / requests a grant.
   void EnsureDelivery();
   // Fresh activation + upcall on `proc` (which must be span-free and ours).
+  // Checks the §3.1 upcall page-fault window and injected delivery faults
+  // (DESIGN.md §11); defers through either before committing.
   void DeliverOn(hw::Processor* proc);
+  // The delivery itself: batch pending events into a fresh activation and
+  // run it on `proc`.  Only called once DeliverOn's delay checks passed.
+  void DeliverNow(hw::Processor* proc);
   void UpdateDemand();
   // Vessel-invariant trace snapshot at protocol-quiescent points (§10).
   void TraceVessel();
@@ -103,6 +108,7 @@ class SaSpace : public kern::SaSpaceIface {
   std::vector<UpcallEvent> pending_;
   bool upcall_requested_ = false;  // a kUpcallDeliver preemption is in flight
   bool upcall_fault_pending_ = false;  // upcall path itself is being paged in
+  int inject_defers_pending_ = 0;  // injected delivery delays in flight
   std::vector<kern::KThread*> cache_;  // recycled activations
   std::map<int64_t, kern::KThread*> activations_;
   std::vector<std::unique_ptr<Activation>> owned_;

@@ -30,6 +30,10 @@ namespace sa::core {
 struct UserThreadState {
   void* cookie = nullptr;
   hw::SavedSpan saved;
+  // The kernel operation this thread blocked on completed with an error
+  // (fault injection past the I/O retry budget).  Travels up with the
+  // kUnblocked event so the thread system can surface it to the thread.
+  bool io_failed = false;
 };
 
 struct UpcallEvent {

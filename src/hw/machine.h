@@ -11,6 +11,7 @@
 
 #include "src/common/rng.h"
 #include "src/hw/processor.h"
+#include "src/inject/fault_injector.h"
 #include "src/sim/engine.h"
 
 namespace sa::hw {
@@ -33,6 +34,13 @@ class Machine {
 
   common::Rng& rng() { return rng_; }
 
+  // Fault injection (DESIGN.md §11).  Null means injection is off; the
+  // kernel and the SA machinery read this at their hook points.  Installed
+  // by rt::Harness::EnableFaultInjection before the run starts; the machine
+  // does not own the injector.
+  void set_injector(inject::FaultInjector* injector) { injector_ = injector; }
+  inject::FaultInjector* injector() const { return injector_; }
+
   // Sum of per-processor accounting (flushes first).
   sim::Duration TotalTimeIn(SpanMode mode);
 
@@ -40,6 +48,7 @@ class Machine {
   sim::Engine engine_;
   std::vector<std::unique_ptr<Processor>> processors_;
   common::Rng rng_;
+  inject::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace sa::hw

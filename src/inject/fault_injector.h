@@ -1,0 +1,112 @@
+// The runtime half of fault injection: a FaultPlan plus a private RNG and
+// counters.  Components hold a FaultInjector* (null = injection off) and ask
+// it yes/no questions at their hook points; every answer is drawn from the
+// injector's own seeded stream, so a run under a given plan is deterministic
+// and the machine's random stream is untouched.
+//
+// Hook points (see DESIGN.md §11):
+//   kern::Kernel      — ShouldFailIo / IoBackoff on device completions,
+//                       PerturbIoLatency on SysBlockIo/SysPageFault entry
+//   core::SaSpace     — UpcallDelay / ShouldDenyActivationAlloc in DeliverOn
+//   rt::Harness       — revocation storms via ProcessorAllocator, driven by
+//                       rng()
+
+#ifndef SA_INJECT_FAULT_INJECTOR_H_
+#define SA_INJECT_FAULT_INJECTOR_H_
+
+#include "src/common/rng.h"
+#include "src/inject/fault_plan.h"
+
+namespace sa::inject {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(plan), rng_(plan.seed * 0x2545f4914f6cdd1dull + 0x9e3779b9ull) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const InjectStats& stats() const { return stats_; }
+  common::Rng& rng() { return rng_; }
+
+  // Device completion: should this I/O fail transiently?
+  bool ShouldFailIo() {
+    if (plan_.io_fail <= 0.0 || !rng_.Bernoulli(plan_.io_fail)) {
+      return false;
+    }
+    ++stats_.faults_injected;
+    ++stats_.io_failures;
+    return true;
+  }
+
+  // I/O latency as issued, possibly inflated by a pathological spike.
+  sim::Duration PerturbIoLatency(sim::Duration latency) {
+    if (plan_.io_spike <= 0.0 || !rng_.Bernoulli(plan_.io_spike)) {
+      return latency;
+    }
+    ++stats_.faults_injected;
+    ++stats_.latency_spikes;
+    return latency * plan_.io_spike_mult;
+  }
+
+  // Backoff before retry `attempt` (0-based): exponential from the base.
+  // Counts the retry; the first retry of an operation is a degraded-mode
+  // transition.
+  sim::Duration IoBackoff(int attempt) {
+    const sim::Duration backoff = plan_.io_backoff << attempt;
+    ++stats_.io_retries;
+    stats_.backoff_time += backoff;
+    if (attempt == 0) {
+      ++stats_.degraded_transitions;
+    }
+    return backoff;
+  }
+
+  // Retry budget exhausted: the error goes to the blocked thread.
+  void NoteFailedOp() { ++stats_.failed_ops; }
+
+  // Upcall delivery about to happen: 0 = deliver now, else defer this long.
+  sim::Duration UpcallDelay() {
+    if (plan_.upcall_delay <= 0.0 || !rng_.Bernoulli(plan_.upcall_delay)) {
+      return 0;
+    }
+    ++stats_.faults_injected;
+    ++stats_.upcall_delays;
+    return plan_.upcall_delay_for;
+  }
+
+  // A delivery needs a fresh activation (recycle cache empty): deny the
+  // allocation?  Denials come in bounded bursts so delivery always proceeds.
+  bool ShouldDenyActivationAlloc() {
+    if (deny_left_ > 0) {
+      --deny_left_;
+      ++stats_.faults_injected;
+      ++stats_.alloc_denials;
+      return true;
+    }
+    if (plan_.alloc_deny <= 0.0 || !rng_.Bernoulli(plan_.alloc_deny)) {
+      return false;
+    }
+    deny_left_ = plan_.alloc_deny_burst - 1;
+    ++stats_.faults_injected;
+    ++stats_.alloc_denials;
+    ++stats_.degraded_transitions;
+    return true;
+  }
+
+  void NoteStormRevocations(int n) {
+    stats_.faults_injected += n;
+    stats_.storm_revocations += n;
+  }
+
+ private:
+  const FaultPlan plan_;
+  common::Rng rng_;
+  InjectStats stats_;
+  int deny_left_ = 0;  // remaining denials in the current burst
+};
+
+}  // namespace sa::inject
+
+#endif  // SA_INJECT_FAULT_INJECTOR_H_

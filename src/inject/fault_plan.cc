@@ -1,0 +1,221 @@
+#include "src/inject/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace sa::inject {
+
+namespace {
+
+// Shortest exact decimal: "%g" when it round-trips, max-precision otherwise.
+// Specs must replay bit-exactly — a pretty-printed probability that parses
+// back to a different double would change every downstream RNG decision.
+std::string FormatReal(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  if (std::strtod(buf, nullptr) == value) {
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool ParseReal(std::string_view v, double* out) {
+  const std::string s(v);
+  char* end = nullptr;
+  const double d = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || d < 0.0 || d > 1.0) {
+    return false;
+  }
+  *out = d;
+  return true;
+}
+
+bool ParseInt(std::string_view v, int* out) {
+  const std::string s(v);
+  char* end = nullptr;
+  const long long n = std::strtoll(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || n < 0 || n > 1'000'000) {
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
+}
+
+bool ParseSeed(std::string_view v, uint64_t* out) {
+  const std::string s(v);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+// Raw nanoseconds, or an integer with a ns/us/ms/s suffix.
+bool ParseDuration(std::string_view v, sim::Duration* out) {
+  const std::string s(v);
+  char* end = nullptr;
+  const long long n = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || n < 0) {
+    return false;
+  }
+  const std::string_view suffix(end);
+  int64_t scale = 1;
+  if (suffix.empty() || suffix == "ns") {
+    scale = 1;
+  } else if (suffix == "us") {
+    scale = 1'000;
+  } else if (suffix == "ms") {
+    scale = 1'000'000;
+  } else if (suffix == "s") {
+    scale = 1'000'000'000;
+  } else {
+    return false;
+  }
+  *out = n * scale;
+  return true;
+}
+
+}  // namespace
+
+sim::Duration FaultPlan::ExtraIdleSlack() const {
+  sim::Duration slack = 0;
+  if (upcall_delay > 0.0) {
+    // A deferred delivery is never re-deferred, but retries that find the
+    // processor busy fall back to a fresh EnsureDelivery round.
+    slack += 4 * upcall_delay_for;
+  }
+  if (alloc_deny > 0.0) {
+    slack += 2 * alloc_retry * (alloc_deny_burst + 1);
+  }
+  if (storm_period > 0) {
+    // Each storm revocation opens a revocation-in-flight window (preempt
+    // interrupt + untuned upcall delivery) of its own.
+    slack += sim::Msec(5) * storm_burst;
+  }
+  return slack;
+}
+
+std::string FaultPlan::ToSpec() const {
+  const FaultPlan def;
+  std::string s = "seed=" + std::to_string(seed);
+  auto real = [&](const char* key, double v, double dv) {
+    if (v != dv) s += std::string(",") + key + "=" + FormatReal(v);
+  };
+  auto integer = [&](const char* key, int v, int dv) {
+    if (v != dv) s += std::string(",") + key + "=" + std::to_string(v);
+  };
+  auto duration = [&](const char* key, sim::Duration v, sim::Duration dv) {
+    if (v != dv) s += std::string(",") + key + "=" + std::to_string(v);
+  };
+  real("io_fail", io_fail, def.io_fail);
+  integer("io_retries", io_retries, def.io_retries);
+  duration("io_backoff", io_backoff, def.io_backoff);
+  real("io_spike", io_spike, def.io_spike);
+  integer("io_spike_mult", io_spike_mult, def.io_spike_mult);
+  real("upcall_delay", upcall_delay, def.upcall_delay);
+  duration("upcall_delay_for", upcall_delay_for, def.upcall_delay_for);
+  real("alloc_deny", alloc_deny, def.alloc_deny);
+  integer("alloc_deny_burst", alloc_deny_burst, def.alloc_deny_burst);
+  duration("alloc_retry", alloc_retry, def.alloc_retry);
+  duration("storm_period", storm_period, def.storm_period);
+  integer("storm_burst", storm_burst, def.storm_burst);
+  return s;
+}
+
+bool FaultPlan::Parse(std::string_view spec, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view field = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view() : rest.substr(comma + 1);
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("field without '=': \"" + std::string(field) + "\"");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    bool ok;
+    if (key == "seed") {
+      ok = ParseSeed(value, &plan.seed);
+    } else if (key == "io_fail") {
+      ok = ParseReal(value, &plan.io_fail);
+    } else if (key == "io_retries") {
+      ok = ParseInt(value, &plan.io_retries);
+    } else if (key == "io_backoff") {
+      ok = ParseDuration(value, &plan.io_backoff);
+    } else if (key == "io_spike") {
+      ok = ParseReal(value, &plan.io_spike);
+    } else if (key == "io_spike_mult") {
+      ok = ParseInt(value, &plan.io_spike_mult);
+    } else if (key == "upcall_delay") {
+      ok = ParseReal(value, &plan.upcall_delay);
+    } else if (key == "upcall_delay_for") {
+      ok = ParseDuration(value, &plan.upcall_delay_for);
+    } else if (key == "alloc_deny") {
+      ok = ParseReal(value, &plan.alloc_deny);
+    } else if (key == "alloc_deny_burst") {
+      ok = ParseInt(value, &plan.alloc_deny_burst);
+    } else if (key == "alloc_retry") {
+      ok = ParseDuration(value, &plan.alloc_retry);
+    } else if (key == "storm_period") {
+      ok = ParseDuration(value, &plan.storm_period);
+    } else if (key == "storm_burst") {
+      ok = ParseInt(value, &plan.storm_burst);
+    } else {
+      return fail("unknown key \"" + std::string(key) + "\"");
+    }
+    if (!ok) {
+      return fail("bad value for \"" + std::string(key) + "\": \"" +
+                  std::string(value) + "\"");
+    }
+  }
+  *out = plan;
+  return true;
+}
+
+bool FaultPlan::operator==(const FaultPlan& other) const {
+  return seed == other.seed && io_fail == other.io_fail &&
+         io_retries == other.io_retries && io_backoff == other.io_backoff &&
+         io_spike == other.io_spike && io_spike_mult == other.io_spike_mult &&
+         upcall_delay == other.upcall_delay &&
+         upcall_delay_for == other.upcall_delay_for &&
+         alloc_deny == other.alloc_deny &&
+         alloc_deny_burst == other.alloc_deny_burst &&
+         alloc_retry == other.alloc_retry && storm_period == other.storm_period &&
+         storm_burst == other.storm_burst;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed) {
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  FaultPlan plan;
+  plan.seed = seed;
+  // Probabilities are k/20 so ToSpec prints them short and exact.
+  plan.io_fail = static_cast<double>(rng.Below(8)) / 20.0;       // 0 .. 0.35
+  plan.io_retries = 1 + static_cast<int>(rng.Below(4));          // 1 .. 4
+  plan.io_backoff = sim::Usec(50ll << rng.Below(3));             // 50/100/200us
+  plan.io_spike = static_cast<double>(rng.Below(5)) / 20.0;      // 0 .. 0.2
+  plan.io_spike_mult = 2 + static_cast<int>(rng.Below(11));      // 2 .. 12
+  plan.upcall_delay = static_cast<double>(rng.Below(7)) / 20.0;  // 0 .. 0.3
+  plan.upcall_delay_for = sim::Usec(100 * (1 + static_cast<int64_t>(rng.Below(10))));
+  plan.alloc_deny = static_cast<double>(rng.Below(5)) / 20.0;    // 0 .. 0.2
+  plan.alloc_deny_burst = 1 + static_cast<int>(rng.Below(3));    // 1 .. 3
+  plan.alloc_retry = sim::Usec(100 * (1 + static_cast<int64_t>(rng.Below(5))));
+  if (rng.Below(2) == 0) {
+    plan.storm_period = sim::Msec(2 + static_cast<int64_t>(rng.Below(7)));
+    plan.storm_burst = 1 + static_cast<int>(rng.Below(2));
+  }
+  return plan;
+}
+
+}  // namespace sa::inject

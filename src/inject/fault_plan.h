@@ -1,0 +1,110 @@
+// Deterministic fault-injection plans.
+//
+// A FaultPlan is a small, value-typed description of which faults to inject
+// and how hard: transient I/O failures (with a kernel retry budget and
+// exponential backoff), pathological device latencies, protocol-legal delays
+// of upcall delivery, activation-allocation denial, and processor-revocation
+// storms.  Everything an injected run does is a pure function of the plan —
+// including its own RNG seed, separate from the machine's — so any failure
+// found under a plan reproduces from the plan alone.
+//
+// Plans round-trip through a one-line spec ("seed=7,io_fail=0.25,...") so a
+// failing fuzz sweep can print `--fault-plan=<spec>` and a developer (or the
+// shrinker in shrink.h) can replay it exactly.
+
+#ifndef SA_INJECT_FAULT_PLAN_H_
+#define SA_INJECT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace sa::inject {
+
+struct FaultPlan {
+  // Seed of the injector's private RNG (never the machine's: an inactive
+  // injector must not perturb the simulation's random stream).
+  uint64_t seed = 1;
+
+  // Transient I/O failures: each device completion fails with probability
+  // `io_fail`; the kernel retries up to `io_retries` times with exponential
+  // backoff starting at `io_backoff` (doubling per attempt).  Past the
+  // budget the operation completes with an error surfaced to IoRead().
+  double io_fail = 0.0;
+  int io_retries = 3;
+  sim::Duration io_backoff = sim::Usec(100);
+
+  // Pathological latency: each I/O (device or paging) takes `io_spike_mult`
+  // times its nominal latency with probability `io_spike`.
+  double io_spike = 0.0;
+  int io_spike_mult = 10;
+
+  // Protocol-legal upcall-delivery delay: with probability `upcall_delay` a
+  // delivery is deferred by `upcall_delay_for` (the kernel may always take
+  // longer; the protocol never promises immediacy).  A deferred delivery is
+  // never re-deferred, so the added latency per upcall is bounded.
+  double upcall_delay = 0.0;
+  sim::Duration upcall_delay_for = sim::Usec(500);
+
+  // Activation-allocation failure: when a delivery needs a *fresh*
+  // activation (recycle cache empty or recycling disabled), the allocation
+  // is denied with probability `alloc_deny`, for a burst of
+  // `alloc_deny_burst` consecutive attempts; each denial defers delivery by
+  // `alloc_retry`.  Bursts are bounded, so delivery always proceeds.
+  double alloc_deny = 0.0;
+  int alloc_deny_burst = 2;
+  sim::Duration alloc_retry = sim::Usec(300);
+
+  // Revocation storms / allocator churn (SA kernel mode only): every
+  // `storm_period` the harness revokes `storm_burst` randomly chosen owned
+  // processors through the allocator, which immediately rebalances.
+  sim::Duration storm_period = 0;  // 0 = off
+  int storm_burst = 1;
+
+  // True when any fault class is enabled.  An inactive plan injects nothing
+  // and perturbs nothing (byte-identical traces to an injector-free run).
+  bool active() const {
+    return io_fail > 0.0 || io_spike > 0.0 || upcall_delay > 0.0 ||
+           alloc_deny > 0.0 || storm_period > 0;
+  }
+
+  // Slack the no-idle-while-ready trace invariant needs on top of its default
+  // threshold under this plan: injected delivery delays and alloc-denial
+  // bursts legitimately extend the window a vcpu may sit idle, and storms add
+  // revocation-in-flight windows of their own.
+  sim::Duration ExtraIdleSlack() const;
+
+  // One-line replayable spec: "seed=N[,key=value...]", durations in raw
+  // nanoseconds, only non-default fields printed.  Parse(ToSpec()) == *this.
+  std::string ToSpec() const;
+  // Parses a spec produced by ToSpec (durations also accept ns/us/ms/s
+  // suffixes).  On failure returns false and, if non-null, fills `error`.
+  static bool Parse(std::string_view spec, FaultPlan* out, std::string* error);
+
+  bool operator==(const FaultPlan& other) const;
+
+  // A quantized random plan for fuzz sweeps: probabilities are multiples of
+  // 1/20 so specs print short and round-trip exactly.
+  static FaultPlan Random(uint64_t seed);
+};
+
+// Counters kept by the injector, surfaced through rt::RunReport.
+struct InjectStats {
+  int64_t faults_injected = 0;     // every injection decision that fired
+  int64_t io_failures = 0;         // transient completion failures
+  int64_t io_retries = 0;          // kernel retry attempts scheduled
+  sim::Duration backoff_time = 0;  // total virtual time spent backing off
+  int64_t failed_ops = 0;          // errors surfaced to user threads
+  int64_t latency_spikes = 0;
+  int64_t upcall_delays = 0;
+  int64_t alloc_denials = 0;
+  int64_t storm_revocations = 0;
+  int64_t degraded_transitions = 0;  // entries into a degraded mode (retry
+                                     // loop or alloc-denial burst)
+};
+
+}  // namespace sa::inject
+
+#endif  // SA_INJECT_FAULT_PLAN_H_

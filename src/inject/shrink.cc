@@ -1,0 +1,138 @@
+#include "src/inject/shrink.h"
+
+#include <vector>
+
+namespace sa::inject {
+
+namespace {
+
+// A candidate reduction: mutate the plan toward "smaller"; return false when
+// the field is already at its target (no-op candidates are skipped without
+// spending a predicate run).
+using Mutator = bool (*)(FaultPlan*);
+
+const std::vector<Mutator>& Mutators() {
+  static const std::vector<Mutator> mutators = {
+      // Disable whole fault classes first — the biggest single reductions.
+      [](FaultPlan* p) {
+        if (p->io_fail == 0.0) return false;
+        p->io_fail = 0.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->io_spike == 0.0) return false;
+        p->io_spike = 0.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->upcall_delay == 0.0) return false;
+        p->upcall_delay = 0.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->alloc_deny == 0.0) return false;
+        p->alloc_deny = 0.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->storm_period == 0) return false;
+        p->storm_period = 0;
+        return true;
+      },
+      // Then halve surviving magnitudes.
+      [](FaultPlan* p) {
+        if (p->io_fail == 0.0) return false;
+        p->io_fail /= 2.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        // Reduce the retry budget toward the default only: a below-default
+        // budget is not "smaller", it surfaces more errors to threads.
+        const FaultPlan def;
+        if (p->io_retries <= def.io_retries) return false;
+        p->io_retries = def.io_retries;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->io_spike == 0.0) return false;
+        p->io_spike /= 2.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        const FaultPlan def;
+        if (p->io_spike == 0.0 || p->io_spike_mult <= def.io_spike_mult) return false;
+        p->io_spike_mult = def.io_spike_mult;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->upcall_delay == 0.0) return false;
+        p->upcall_delay /= 2.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->upcall_delay == 0.0 || p->upcall_delay_for <= sim::Usec(100)) return false;
+        p->upcall_delay_for /= 2;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->alloc_deny == 0.0) return false;
+        p->alloc_deny /= 2.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->alloc_deny == 0.0 || p->alloc_deny_burst <= 1) return false;
+        p->alloc_deny_burst = 1;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->storm_period == 0 || p->storm_burst <= 1) return false;
+        p->storm_burst = 1;
+        return true;
+      },
+      // Less frequent storms are a smaller plan.
+      [](FaultPlan* p) {
+        if (p->storm_period == 0 || p->storm_period >= sim::Msec(50)) return false;
+        p->storm_period *= 2;
+        return true;
+      },
+  };
+  return mutators;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkPlan(const FaultPlan& start, const FailsFn& fails) {
+  ShrinkResult result;
+  result.plan = start;
+  ++result.tests_run;
+  if (!fails(start)) {
+    return result;  // failing == false: nothing to shrink
+  }
+  result.failing = true;
+
+  // Greedy fixpoint: keep sweeping the mutator list until a full pass
+  // accepts nothing.  Halving mutators re-fire across passes, so magnitudes
+  // keep shrinking as long as the failure survives; the pass bound caps the
+  // worst case (each halving pass at least halves some field).
+  constexpr int kMaxPasses = 12;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool accepted_any = false;
+    for (const Mutator& mutate : Mutators()) {
+      FaultPlan candidate = result.plan;
+      if (!mutate(&candidate)) {
+        continue;
+      }
+      ++result.tests_run;
+      if (fails(candidate)) {
+        result.plan = candidate;
+        accepted_any = true;
+      }
+    }
+    if (!accepted_any) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sa::inject

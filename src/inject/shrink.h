@@ -1,0 +1,36 @@
+// Delta-debugging shrinker for failing FaultPlans.
+//
+// Given a plan under which some predicate fails (a test assertion, an
+// invariant violation, a crash captured as a bool), ShrinkPlan searches for
+// a smaller plan that still fails: it tries disabling whole fault classes,
+// then halving magnitudes, keeping any candidate for which the predicate
+// still reports failure, and iterates to a fixpoint.  Because injected runs
+// are deterministic, "still fails" is a pure function of the candidate plan
+// — no flaky reruns.
+//
+// The result's ToSpec() is the one-line reproducer a failing sweep prints
+// as `--fault-plan=<spec>`.
+
+#ifndef SA_INJECT_SHRINK_H_
+#define SA_INJECT_SHRINK_H_
+
+#include <functional>
+
+#include "src/inject/fault_plan.h"
+
+namespace sa::inject {
+
+// Returns true when a run under `plan` still exhibits the failure.
+using FailsFn = std::function<bool(const FaultPlan&)>;
+
+struct ShrinkResult {
+  FaultPlan plan;        // smallest failing plan found
+  bool failing = false;  // false: the starting plan did not fail at all
+  int tests_run = 0;     // predicate evaluations spent
+};
+
+ShrinkResult ShrinkPlan(const FaultPlan& start, const FailsFn& fails);
+
+}  // namespace sa::inject
+
+#endif  // SA_INJECT_SHRINK_H_

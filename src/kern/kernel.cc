@@ -457,13 +457,14 @@ void Kernel::SysExit(KThread* caller) {
 }
 
 void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
-                         std::function<bool()> block_check,
+                         bool injectable, std::function<bool()> block_check,
                          std::function<void()> not_blocked) {
   SA_CHECK(caller->state() == KThreadState::kRunning);
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(
       costs().kernel_trap + BlockCost(caller->address_space()),
-      [this, caller, proc, io, latency, block_check = std::move(block_check),
+      [this, caller, proc, io, latency, injectable,
+       block_check = std::move(block_check),
        not_blocked = std::move(not_blocked)] {
         if (block_check != nullptr && !block_check()) {
           // The awaited condition arrived before we committed to sleeping.
@@ -480,7 +481,7 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
         UpdateKtDemand(as);
         ClearRunning(proc);
         if (io) {
-          engine().ScheduleIn(latency, [this, caller] { OnIoComplete(caller); });
+          ScheduleIoCompletion(caller, latency, injectable, /*attempt=*/0);
         }
         if (as->mode() == AsMode::kSchedulerActivations) {
           as->sa()->OnThreadBlockedInKernel(caller, proc);
@@ -496,7 +497,8 @@ void Kernel::SysBlockIo(KThread* caller, sim::Duration latency) {
                      caller->processor()->id(), caller->address_space()->id(),
                      static_cast<uint64_t>(trace::Syscall::kBlockIo),
                      static_cast<uint64_t>(caller->id()));
-  FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
+  latency = MaybePerturbLatency(caller, latency);
+  FinishBlock(caller, /*io=*/true, latency, /*injectable=*/true, nullptr, nullptr);
 }
 
 void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
@@ -513,10 +515,13 @@ void Kernel::SysPageFault(KThread* caller, int64_t page, sim::Duration latency,
                      static_cast<uint64_t>(caller->id()),
                      static_cast<uint64_t>(page));
   as->vm().CountFault();
-  // The page becomes resident when the paging I/O completes — strictly
-  // before the faulting thread is resumed (same timestamp, earlier event).
+  // A latency spike applies to the whole paging operation: the perturbed
+  // value feeds both events below so residency still lands strictly before
+  // the faulting thread resumes (same timestamp, earlier event).  Paging is
+  // never failed/retried — see ScheduleIoCompletion.
+  latency = MaybePerturbLatency(caller, latency);
   engine().ScheduleIn(latency, [as, page] { as->vm().MakeResident(page); });
-  FinishBlock(caller, /*io=*/true, latency, nullptr, nullptr);
+  FinishBlock(caller, /*io=*/true, latency, /*injectable=*/false, nullptr, nullptr);
 }
 
 void Kernel::SysBlockWait(KThread* caller, std::function<bool()> block_check,
@@ -526,7 +531,8 @@ void Kernel::SysBlockWait(KThread* caller, std::function<bool()> block_check,
                      caller->processor()->id(), caller->address_space()->id(),
                      static_cast<uint64_t>(trace::Syscall::kBlockWait),
                      static_cast<uint64_t>(caller->id()));
-  FinishBlock(caller, /*io=*/false, 0, std::move(block_check), std::move(not_blocked));
+  FinishBlock(caller, /*io=*/false, 0, /*injectable=*/false, std::move(block_check),
+              std::move(not_blocked));
 }
 
 void Kernel::SysYield(KThread* caller) {
@@ -543,6 +549,59 @@ void Kernel::SysYield(KThread* caller) {
     DomainFor(as)->ready.PushBack(caller);
     DispatchOn(proc);
   });
+}
+
+sim::Duration Kernel::MaybePerturbLatency(KThread* caller, sim::Duration latency) {
+  inject::FaultInjector* injector = this->injector();
+  if (injector == nullptr) {
+    return latency;
+  }
+  const sim::Duration perturbed = injector->PerturbIoLatency(latency);
+  if (perturbed != latency) {
+    engine().TraceEmit(trace::cat::kInject, trace::Kind::kInjectLatencySpike,
+                       caller->processor()->id(), caller->address_space()->id(),
+                       static_cast<uint64_t>(latency),
+                       static_cast<uint64_t>(perturbed));
+  }
+  return perturbed;
+}
+
+void Kernel::ScheduleIoCompletion(KThread* kt, sim::Duration latency,
+                                  bool injectable, int attempt) {
+  // With injection off this is exactly the one ScheduleIn the pre-injection
+  // kernel issued — same delay, same event ordering — so a linked-but-idle
+  // injector leaves seeded traces byte-identical.
+  engine().ScheduleIn(latency, [this, kt, latency, injectable, attempt] {
+    FinishIo(kt, latency, injectable, attempt);
+  });
+}
+
+void Kernel::FinishIo(KThread* kt, sim::Duration latency, bool injectable,
+                      int attempt) {
+  inject::FaultInjector* injector = this->injector();
+  if (injectable && injector != nullptr && injector->ShouldFailIo()) {
+    AddressSpace* as = kt->address_space();
+    if (attempt < injector->plan().io_retries) {
+      // Transient device failure: the kernel retries after an exponential
+      // backoff, all while the thread stays blocked.
+      const sim::Duration backoff = injector->IoBackoff(attempt);
+      engine().TraceEmit(trace::cat::kInject, trace::Kind::kInjectIoRetry, -1,
+                         as->id(), static_cast<uint64_t>(kt->id()),
+                         static_cast<uint64_t>(attempt + 1));
+      engine().ScheduleIn(backoff, [this, kt, latency, attempt] {
+        ScheduleIoCompletion(kt, latency, /*injectable=*/true, attempt + 1);
+      });
+      return;
+    }
+    // Retry budget exhausted: complete the operation with an error.  The
+    // thread unblocks normally; the hosting runtime surfaces the flag to
+    // the workload's IoRead().
+    injector->NoteFailedOp();
+    kt->set_io_failed(true);
+    engine().TraceEmit(trace::cat::kInject, trace::Kind::kInjectIoError, -1,
+                       as->id(), static_cast<uint64_t>(kt->id()), 0);
+  }
+  OnIoComplete(kt);
 }
 
 void Kernel::OnIoComplete(KThread* kt) {

@@ -112,6 +112,8 @@ class Kernel {
   KernelMode mode() const { return config_.mode; }
   KernelCounters& counters() { return counters_; }
   ProcessorAllocator* allocator() { return allocator_.get(); }
+  // Fault injector installed on the machine (null = injection off).
+  inject::FaultInjector* injector() const { return machine_->injector(); }
 
   // Upcall latency (event queued in the kernel -> upcall dispatched on a
   // processor); filled in by src/core/ and surfaced through rt::RunReport.
@@ -217,8 +219,20 @@ class Kernel {
   void ArmQuantum(hw::Processor* proc, KThread* kt);
   void OnQuantumFire(int proc_id, KThread* kt, uint64_t seq);
   void OnIoComplete(KThread* kt);
-  void FinishBlock(KThread* caller, bool io, sim::Duration latency,
+  // Schedules `kt`'s I/O completion `latency` from now.  With an active
+  // injector and `injectable`, the completion may fail transiently: the
+  // kernel retries with exponential backoff up to the plan's budget, then
+  // completes with an error flagged on the thread (take_io_failed).  Paging
+  // I/O is not injectable — page residency is scheduled independently and
+  // must not desynchronize from the thread's wake-up.
+  void ScheduleIoCompletion(KThread* kt, sim::Duration latency, bool injectable,
+                            int attempt);
+  void FinishIo(KThread* kt, sim::Duration latency, bool injectable, int attempt);
+  void FinishBlock(KThread* caller, bool io, sim::Duration latency, bool injectable,
                    std::function<bool()> block_check, std::function<void()> not_blocked);
+  // Applies the injector's latency-spike perturbation (if any) to a blocking
+  // I/O's latency, tracing the spike.  Identity when injection is off.
+  sim::Duration MaybePerturbLatency(KThread* caller, sim::Duration latency);
   hw::Processor* FindIdleProcessorFor(AddressSpace* as);
   // Native mode: place a high-priority wakeup at a random processor
   // (modelling interrupt-local delivery); may preempt lower-priority work.

@@ -94,6 +94,16 @@ class KThread {
   // level in an upcall (activation semantics).
   hw::SavedSpan& saved_span() { return saved_span_; }
 
+  // Set when the kernel completed this thread's blocking I/O with an error
+  // (fault injection past the retry budget); consumed exactly once on the
+  // unblock path so the hosting runtime can surface it to IoRead().
+  void set_io_failed(bool failed) { io_failed_ = failed; }
+  bool take_io_failed() {
+    const bool failed = io_failed_;
+    io_failed_ = false;
+    return failed;
+  }
+
   // Activation state; null for plain kernel threads.
   core::Activation* activation() const { return activation_; }
   void set_activation(core::Activation* a) { activation_ = a; }
@@ -120,6 +130,7 @@ class KThread {
   hw::SavedSpan saved_span_;
   core::Activation* activation_ = nullptr;
   uint64_t dispatch_seq_ = 0;
+  bool io_failed_ = false;
 };
 
 }  // namespace sa::kern

@@ -199,6 +199,46 @@ void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
   }
 }
 
+int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
+  // Candidates are owned processors only: a free-pool processor has no
+  // revocation protocol to exercise (and pushing it to free_ again would
+  // corrupt the pool).
+  std::vector<std::pair<AddressSpace*, hw::Processor*>> owned;
+  for (AddressSpace* as : spaces_) {
+    for (hw::Processor* proc : as->assigned()) {
+      owned.emplace_back(as, proc);
+    }
+  }
+  int revoked = 0;
+  for (int i = 0; i < burst && !owned.empty(); ++i) {
+    const size_t pick = static_cast<size_t>(rng.Below(owned.size()));
+    auto [as, proc] = owned[pick];
+    owned.erase(owned.begin() + static_cast<ptrdiff_t>(pick));
+    if (kernel_->running_on(proc) == nullptr && !proc->has_span()) {
+      // Idle in kernel: reclaim immediately (same fast path as Rebalance).
+      kernel_->UnassignProcessor(proc);
+      if (as->mode() == AsMode::kSchedulerActivations) {
+        as->sa()->OnProcessorRevoked(proc, nullptr);
+      }
+      free_.push_back(proc);
+      ++revoked;
+      continue;
+    }
+    PendingAction action;
+    action.kind = PendingAction::Kind::kRevoke;
+    if (kernel_->RequestPreemption(proc, action)) {
+      ++pending_revokes_[as->id()];
+      ++revoked;
+    }
+  }
+  if (revoked > 0) {
+    // The freed/soon-free processors re-enter allocation through the normal
+    // path — the churn the storm is meant to exercise.
+    Rebalance();
+  }
+  return revoked;
+}
+
 void ProcessorAllocator::OnRevokeComplete(AddressSpace* old_as, hw::Processor* proc) {
   if (old_as != nullptr) {
     auto it = pending_revokes_.find(old_as->id());

@@ -22,6 +22,7 @@
 #include <map>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/kern/address_space.h"
 
 namespace sa::kern {
@@ -46,6 +47,13 @@ class ProcessorAllocator {
 
   // A processor with no owner and no work (boot, space exit).
   void AddFree(hw::Processor* proc);
+
+  // Fault injection (DESIGN.md §11): revokes up to `burst` randomly chosen
+  // *owned* processors and rebalances, churning allocations through the
+  // normal revoke/grant protocol.  Lives here so the in-flight revocation
+  // bookkeeping (`pending_revokes_`) stays exact.  Returns the number of
+  // revocations issued.
+  int InjectRevocations(int burst, common::Rng& rng);
 
   int num_free() const { return static_cast<int>(free_.size()); }
 

@@ -1,8 +1,28 @@
 #include "src/rt/harness.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/kern/proc_alloc.h"
 #include "src/rt/topaz_runtime.h"
+#include "src/trace/invariants.h"
 
 namespace sa::rt {
+
+const char* RunOutcomeName(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kEventBudget:
+      return "event-budget";
+    case RunOutcome::kDeadlock:
+      return "deadlock";
+    case RunOutcome::kStalled:
+      return "stalled";
+  }
+  return "?";
+}
 
 Harness::Harness(HarnessConfig config)
     : config_(config),
@@ -60,18 +80,163 @@ bool Harness::AllDone() const {
   return true;
 }
 
+size_t Harness::ForegroundFinished() const {
+  size_t finished = 0;
+  for (const Entry& e : runtimes_) {
+    if (!e.background) {
+      finished += e.rt->threads_finished();
+    }
+  }
+  return finished;
+}
+
 sim::Time Harness::Run(uint64_t max_events) {
+  RunResult result = TryRun(max_events);
+  if (!result.ok()) {
+    std::fputs(result.diagnostics.c_str(), stderr);
+    SA_CHECK_MSG(result.outcome != RunOutcome::kEventBudget,
+                 "simulation exceeded event budget (livelock?)");
+    SA_CHECK_MSG(result.outcome != RunOutcome::kStalled,
+                 "simulation stalled (no foreground progress)");
+    SA_CHECK_MSG(false, "event queue drained before workloads finished (deadlock?)");
+  }
+  return result.end_time;
+}
+
+RunResult Harness::TryRun(uint64_t max_events) {
   if (!started_) {
     Start();
   }
+  RunResult result;
   uint64_t fired = 0;
+  size_t last_finished = ForegroundFinished();
+  sim::Time last_progress = engine().now();
   while (!AllDone()) {
-    SA_CHECK_MSG(fired < max_events, "simulation exceeded event budget (livelock?)");
-    const bool progressed = engine().Step();
-    SA_CHECK_MSG(progressed, "event queue drained before workloads finished (deadlock?)");
+    if (fired >= max_events) {
+      result.outcome = RunOutcome::kEventBudget;
+      break;
+    }
+    if (!engine().Step()) {
+      result.outcome = RunOutcome::kDeadlock;
+      break;
+    }
     ++fired;
+    if (stall_timeout_ > 0) {
+      const size_t finished = ForegroundFinished();
+      if (finished != last_finished) {
+        last_finished = finished;
+        last_progress = engine().now();
+      } else if (engine().now() - last_progress > stall_timeout_) {
+        result.outcome = RunOutcome::kStalled;
+        break;
+      }
+    }
   }
-  return engine().now();
+  result.end_time = engine().now();
+  if (!result.ok()) {
+    char reason[128];
+    std::snprintf(reason, sizeof(reason), "%s after %" PRIu64 " events",
+                  RunOutcomeName(result.outcome), fired);
+    result.diagnostics = DumpDiagnostics(reason);
+  }
+  return result;
+}
+
+std::string Harness::DumpDiagnostics(const std::string& reason) {
+  std::string out;
+  char buf[512];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  line("=== harness diagnostics: %s ===\n", reason.c_str());
+  line("virtual time %s | %" PRIu64 " events fired, %zu pending\n",
+       sim::FormatDuration(engine().now()).c_str(), engine().events_fired(),
+       engine().pending_events());
+  for (const Entry& e : runtimes_) {
+    line("runtime %-16s %s: %zu threads, %zu finished%s\n",
+         e.rt->name().c_str(), e.background ? "(background)" : "(foreground)",
+         e.rt->threads_created(), e.rt->threads_finished(),
+         e.rt->AllDone() ? ", done" : "");
+    e.rt->DescribeThreads(&out);
+  }
+  const kern::KernelCounters& c = kernel_.counters();
+  line("kernel: %lld live threads | %lld upcalls (%lld events), %lld timeslices, "
+       "%lld preempt irqs, %lld page faults\n",
+       static_cast<long long>(kernel_.live_threads()),
+       static_cast<long long>(c.upcalls), static_cast<long long>(c.upcall_events),
+       static_cast<long long>(c.timeslices),
+       static_cast<long long>(c.preempt_interrupts),
+       static_cast<long long>(c.page_faults));
+  if (injector_ != nullptr) {
+    const inject::InjectStats& s = injector_->stats();
+    line("injector: plan \"%s\"\n", injector_->plan().ToSpec().c_str());
+    line("  %lld faults (%lld io failures, %lld retries, %lld failed ops, "
+         "%lld spikes, %lld upcall delays, %lld alloc denials, %lld storm "
+         "revocations), backoff %s\n",
+         static_cast<long long>(s.faults_injected),
+         static_cast<long long>(s.io_failures), static_cast<long long>(s.io_retries),
+         static_cast<long long>(s.failed_ops),
+         static_cast<long long>(s.latency_spikes),
+         static_cast<long long>(s.upcall_delays),
+         static_cast<long long>(s.alloc_denials),
+         static_cast<long long>(s.storm_revocations),
+         sim::FormatDuration(s.backoff_time).c_str());
+  }
+  if (trace_ != nullptr) {
+    const std::vector<trace::Record> records = trace_->Snapshot();
+    trace::CheckResult check = trace::CheckInvariants(records);
+    line("invariants: %s (%" PRIu64 " vessel checks)\n",
+         check.ok() ? "ok" : "VIOLATED", check.vessel_checks);
+    for (const std::string& v : check.violations) {
+      line("  %s\n", v.c_str());
+    }
+    constexpr size_t kTail = 40;
+    const size_t start = records.size() > kTail ? records.size() - kTail : 0;
+    line("trace tail (%zu of %zu records):\n", records.size() - start,
+         records.size());
+    for (size_t i = start; i < records.size(); ++i) {
+      const trace::Record& r = records[i];
+      line("  %12lld cpu=%-2d as=%-2d %-24s %llu %llu\n",
+           static_cast<long long>(r.ts), r.cpu, r.as_id,
+           trace::KindName(static_cast<trace::Kind>(r.kind)),
+           static_cast<unsigned long long>(r.arg0),
+           static_cast<unsigned long long>(r.arg1));
+    }
+  } else {
+    out += "trace: disabled (EnableTracing for a trace tail here)\n";
+  }
+  out += "=== end diagnostics ===\n";
+  return out;
+}
+
+inject::FaultInjector& Harness::EnableFaultInjection(const inject::FaultPlan& plan) {
+  SA_CHECK_MSG(injector_ == nullptr, "fault injection already enabled");
+  injector_ = std::make_unique<inject::FaultInjector>(plan);
+  machine_.set_injector(injector_.get());
+  if (plan.storm_period > 0) {
+    ScheduleStormTick();
+  }
+  return *injector_;
+}
+
+void Harness::ScheduleStormTick() {
+  engine().ScheduleIn(injector_->plan().storm_period, [this] {
+    if (AllDone()) {
+      return;  // run is over; stop re-arming
+    }
+    kern::ProcessorAllocator* alloc = kernel_.allocator();
+    if (alloc != nullptr) {
+      const int revoked =
+          alloc->InjectRevocations(injector_->plan().storm_burst, injector_->rng());
+      if (revoked > 0) {
+        injector_->NoteStormRevocations(revoked);
+        engine().TraceEmit(trace::cat::kInject, trace::Kind::kInjectStorm, -1, -1,
+                           static_cast<uint64_t>(revoked));
+      }
+    }
+    ScheduleStormTick();
+  });
 }
 
 }  // namespace sa::rt

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/hw/machine.h"
+#include "src/inject/fault_injector.h"
 #include "src/kern/kernel.h"
 #include "src/rt/runtime.h"
 #include "src/trace/trace.h"
@@ -20,6 +21,27 @@ struct HarnessConfig {
   int processors = 6;  // the paper's Firefly had six CVAX processors
   uint64_t seed = 1;
   kern::Config kernel;
+};
+
+// Why a run ended (TryRun).
+enum class RunOutcome {
+  kCompleted,    // every foreground runtime finished
+  kEventBudget,  // max_events fired without finishing (livelock?)
+  kDeadlock,     // event queue drained with work outstanding
+  kStalled,      // no foreground progress for longer than the stall timeout
+};
+
+const char* RunOutcomeName(RunOutcome outcome);
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  sim::Time end_time = 0;
+  // Human-readable failure context (engine state, per-runtime progress,
+  // kernel counters, injector stats, invariant report, trace tail).  Empty
+  // on success.
+  std::string diagnostics;
+
+  bool ok() const { return outcome == RunOutcome::kCompleted; }
 };
 
 class Harness {
@@ -48,10 +70,33 @@ class Harness {
 
   // Runs the simulation until all foreground runtimes are done (or the event
   // queue drains / `max_events` fire).  Returns the virtual completion time.
+  // On failure, dumps diagnostics to stderr and aborts (SA_CHECK).
   sim::Time Run(uint64_t max_events = 500000000);
+
+  // Like Run, but reports failure (with diagnostics attached) instead of
+  // aborting — the form fuzzers and fault sweeps use.
+  RunResult TryRun(uint64_t max_events = 500000000);
+
+  // Virtual-time progress watchdog for TryRun/Run: if no foreground thread
+  // finishes for `timeout` virtual nanoseconds, the run ends with kStalled
+  // and a diagnostics dump.  0 (default) disables the watchdog.
+  void set_stall_timeout(sim::Duration timeout) { stall_timeout_ = timeout; }
 
   // True iff every foreground runtime reports AllDone.
   bool AllDone() const;
+
+  // Fault injection (DESIGN.md §11).  Installs a deterministic injector
+  // built from `plan` on the machine (kernel and SA spaces pick it up from
+  // there) and, if the plan asks for revocation storms, schedules them.
+  // Call before Start(); at most once.  With no active plan the injector
+  // perturbs nothing and seeded traces stay byte-identical.
+  inject::FaultInjector& EnableFaultInjection(const inject::FaultPlan& plan);
+  // The installed injector, or null if fault injection was never enabled.
+  inject::FaultInjector* injector() { return injector_.get(); }
+
+  // The failure-context dump TryRun attaches to a bad outcome; callable
+  // directly for ad-hoc debugging.
+  std::string DumpDiagnostics(const std::string& reason);
 
   // Event tracing (DESIGN.md §10).  Allocates the trace ring, installs it on
   // the engine, and enables the given categories.  Call before Start();
@@ -69,9 +114,15 @@ class Harness {
     Runtime* rt;
     bool background;
   };
+  // Sum of finished threads across foreground runtimes (watchdog progress).
+  size_t ForegroundFinished() const;
+  void ScheduleStormTick();
+
   std::vector<Entry> runtimes_;
   std::vector<std::unique_ptr<Runtime>> owned_;
   std::unique_ptr<trace::TraceBuffer> trace_;
+  std::unique_ptr<inject::FaultInjector> injector_;
+  sim::Duration stall_timeout_ = 0;
   bool started_ = false;
 };
 

@@ -34,6 +34,10 @@ RunReport MakeReport(Harness& harness) {
   report.idle = m.TotalTimeIn(hw::SpanMode::kIdle);
   report.counters = harness.kernel().counters();
   report.upcall_latency = harness.kernel().upcall_latency();
+  if (harness.injector() != nullptr) {
+    report.inject_active = true;
+    report.inject = harness.injector()->stats();
+  }
   return report;
 }
 
@@ -72,6 +76,23 @@ std::string RunReport::ToString() const {
                   sim::FormatDuration(upcall_latency.Quantile(0.5)).c_str(),
                   sim::FormatDuration(upcall_latency.Quantile(0.99)).c_str(),
                   sim::FormatDuration(upcall_latency.max()).c_str());
+    out += buf;
+  }
+  if (inject_active) {
+    std::snprintf(buf, sizeof(buf),
+                  "faults injected: %lld (%lld io retries, %s backoff, "
+                  "%lld failed ops, %lld latency spikes, %lld upcall delays, "
+                  "%lld alloc denials, %lld storm revocations, "
+                  "%lld degraded-mode transitions)\n",
+                  static_cast<long long>(inject.faults_injected),
+                  static_cast<long long>(inject.io_retries),
+                  sim::FormatDuration(inject.backoff_time).c_str(),
+                  static_cast<long long>(inject.failed_ops),
+                  static_cast<long long>(inject.latency_spikes),
+                  static_cast<long long>(inject.upcall_delays),
+                  static_cast<long long>(inject.alloc_denials),
+                  static_cast<long long>(inject.storm_revocations),
+                  static_cast<long long>(inject.degraded_transitions));
     out += buf;
   }
   return out;

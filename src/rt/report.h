@@ -25,6 +25,10 @@ struct RunReport {
   // Virtual-time latency from a scheduling event entering an address
   // space's upcall queue to its delivery in a fresh activation (ns).
   trace::LatencyHistogram upcall_latency;
+  // Robustness counters (DESIGN.md §11); populated when the harness ran
+  // with fault injection enabled.
+  bool inject_active = false;
+  inject::InjectStats inject;
 
   // Fraction of machine time spent running application code.
   double UserUtilization() const;

@@ -60,6 +60,19 @@ class ThreadTable {
   void NoteFinished() { ++finished_; }
   bool AllFinished() const { return finished_ == threads_.size(); }
 
+  // One line per unfinished thread (tid, name, pending op) appended to
+  // `out` — the per-runtime thread state in harness failure diagnostics.
+  void DescribeUnfinished(std::string* out) const {
+    for (const auto& t : threads_) {
+      if (t->finished) {
+        continue;
+      }
+      *out += "  thread " + std::to_string(t->tid()) + " (" + t->name + "): " +
+              (t->started ? OpKindName(t->ctx.op.kind) : "not started");
+      *out += "\n";
+    }
+  }
+
  private:
   std::vector<std::unique_ptr<WorkThread>> threads_;
   size_t finished_ = 0;
@@ -88,6 +101,10 @@ class Runtime {
 
   virtual size_t threads_created() const = 0;
   virtual size_t threads_finished() const = 0;
+
+  // Appends one line per unfinished thread to `out` (harness failure
+  // diagnostics).  Default: nothing to describe.
+  virtual void DescribeThreads(std::string* out) const { (void)out; }
 };
 
 }  // namespace sa::rt

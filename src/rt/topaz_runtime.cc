@@ -93,6 +93,14 @@ void TopazRuntime::OnPreempted(kern::KThread* kt, hw::Interrupt irq) {
   }
 }
 
+void TopazRuntime::OnUnblocked(kern::KThread* kt) {
+  // The kernel may have completed the blocking I/O with an injected error;
+  // surface it to the workload before the thread resumes (IoRead).
+  if (kt->take_io_failed()) {
+    WorkOf(kt)->ctx.last_io_ok = false;
+  }
+}
+
 void TopazRuntime::RunOn(kern::KThread* kt) {
   WorkThread* w = WorkOf(kt);
   if (kt->saved_span().valid()) {

@@ -36,6 +36,9 @@ class TopazRuntime : public Runtime, private kern::KThreadHost {
   bool AllDone() const override { return table_.AllFinished(); }
   size_t threads_created() const override { return table_.size(); }
   size_t threads_finished() const override { return table_.finished(); }
+  void DescribeThreads(std::string* out) const override {
+    table_.DescribeUnfinished(out);
+  }
 
   kern::AddressSpace* address_space() { return as_; }
 
@@ -53,6 +56,7 @@ class TopazRuntime : public Runtime, private kern::KThreadHost {
   // kern::KThreadHost:
   void RunOn(kern::KThread* kt) override;
   void OnPreempted(kern::KThread* kt, hw::Interrupt irq) override;
+  void OnUnblocked(kern::KThread* kt) override;
 
   kern::KThread* KtOf(WorkThread* w) { return static_cast<kern::KThread*>(w->impl); }
   WorkThread* WorkOf(kern::KThread* kt) { return static_cast<WorkThread*>(kt->host_data()); }

@@ -115,6 +115,22 @@ class ThreadCtx {
     op.duration = d;
     return {};
   }
+  // I/O whose result the thread observes.  Normally resumes with true; under
+  // fault injection the kernel may exhaust its retry budget and complete the
+  // operation with an error, which resumes the thread with false (the
+  // fire-and-forget Io() above ignores the result).
+  struct IoAwait {
+    ThreadCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    bool await_resume() const noexcept { return ctx->last_io_ok; }
+  };
+  IoAwait IoRead(sim::Duration d) {
+    op.kind = OpKind::kIo;
+    op.duration = d;
+    last_io_ok = true;
+    return IoAwait{this};
+  }
   // Touches virtual page `page`; a non-resident page blocks in the kernel
   // for `latency` (and is resident afterwards).
   sim::TrapAwait PageFault(int64_t page, sim::Duration latency) {
@@ -167,6 +183,9 @@ class ThreadCtx {
   Op op;
   // Out-parameter of the last fork, written by the runtime before resuming.
   int last_forked_tid = -1;
+  // Result of the last blocking I/O, written by the runtime before resuming
+  // (false = the kernel completed it with an error; see IoRead).
+  bool last_io_ok = true;
 
  private:
   const int tid_;

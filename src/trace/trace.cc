@@ -47,6 +47,12 @@ const char* KindName(Kind kind) {
     case Kind::kFibSteal: return "fib-steal";
     case Kind::kFibPark: return "fib-park";
     case Kind::kFibWake: return "fib-wake";
+    case Kind::kInjectIoRetry: return "inject-io-retry";
+    case Kind::kInjectIoError: return "inject-io-error";
+    case Kind::kInjectLatencySpike: return "inject-latency-spike";
+    case Kind::kInjectUpcallDelay: return "inject-upcall-delay";
+    case Kind::kInjectAllocDeny: return "inject-alloc-deny";
+    case Kind::kInjectStorm: return "inject-storm";
   }
   return "?";
 }

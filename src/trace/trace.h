@@ -37,6 +37,7 @@ inline constexpr uint32_t kAlloc = 1u << 2;      // processor allocator
 inline constexpr uint32_t kUpcall = 1u << 3;     // SA upcalls/downcalls
 inline constexpr uint32_t kUlt = 1u << 4;        // FastThreads package
 inline constexpr uint32_t kFibers = 1u << 5;     // native fiber pool (host clock)
+inline constexpr uint32_t kInject = 1u << 6;     // fault-injection layer
 inline constexpr uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -92,6 +93,14 @@ enum class Kind : uint16_t {
   kFibSteal = 82,
   kFibPark = 83,
   kFibWake = 84,
+
+  // cat::kInject — fault-injection layer (src/inject/).
+  kInjectIoRetry = 96,       // arg0 = thread id, arg1 = attempt number
+  kInjectIoError = 97,       // retry budget exhausted; arg0 = thread id
+  kInjectLatencySpike = 98,  // arg0 = nominal ns, arg1 = inflated ns
+  kInjectUpcallDelay = 99,   // delivery deferred; arg0 = delay ns
+  kInjectAllocDeny = 100,    // activation alloc denied; arg0 = retry ns
+  kInjectStorm = 101,        // arg0 = revocations issued this burst
 };
 
 const char* KindName(Kind kind);

@@ -63,6 +63,7 @@ class FastThreads {
   const UltConfig& config() const { return config_; }
   UltCounters& counters() { return counters_; }
   rt::ThreadTable& table() { return table_; }
+  const rt::ThreadTable& table() const { return table_; }
 
   // ---- setup ----
   int CreateLock(rt::LockKind kind);

@@ -54,6 +54,17 @@ void KtBackend::OnPreempted(kern::KThread* kt, hw::Interrupt irq) {
   }
 }
 
+void KtBackend::OnUnblocked(kern::KThread* kt) {
+  // An injected I/O error rides back on the vcpu's kernel thread; the
+  // blocked user-level thread is still loaded in its context (v->current).
+  if (kt->take_io_failed()) {
+    Vcpu* v = VcpuOf(kt);
+    if (v->current != nullptr && v->current->work != nullptr) {
+      v->current->work->ctx.last_io_ok = false;
+    }
+  }
+}
+
 void KtBackend::BlockIo(Vcpu* v, Tcb* t, sim::Duration latency) {
   // The vcpu's kernel thread blocks with the user-level thread in its
   // context: the physical processor is lost to the address space.

@@ -52,6 +52,7 @@ class KtBackend : public VcpuBackend, public kern::KThreadHost {
   // kern::KThreadHost:
   void RunOn(kern::KThread* kt) override;
   void OnPreempted(kern::KThread* kt, hw::Interrupt irq) override;
+  void OnUnblocked(kern::KThread* kt) override;
 
  private:
   Vcpu* VcpuOf(kern::KThread* kt) { return static_cast<Vcpu*>(kt->host_data()); }

@@ -176,6 +176,11 @@ void SaBackend::Drain(kern::KThread* kt, Vcpu* v) {
       Tcb* t = static_cast<Tcb*>(ev.state.cookie);
       SA_CHECK_MSG(t != nullptr, "unblocked activation carried no thread");
       SA_CHECK(t->state == Tcb::State::kBlockedKernel);
+      if (ev.state.io_failed && t->work != nullptr) {
+        // The kernel completed the blocking I/O with an injected error;
+        // surface it before the thread resumes (IoRead).
+        t->work->ctx.last_io_ok = false;
+      }
       t->saved = std::move(ev.state.saved);
       ++ft_->runnable_ref();
       NoteDiscard(ev.activation_id);

@@ -36,6 +36,9 @@ class UltRuntime : public rt::Runtime {
   bool AllDone() const override { return ft_->table().AllFinished(); }
   size_t threads_created() const override { return ft_->table().size(); }
   size_t threads_finished() const override { return ft_->table().finished(); }
+  void DescribeThreads(std::string* out) const override {
+    ft_->table().DescribeUnfinished(out);
+  }
 
   FastThreads& fast_threads() { return *ft_; }
   kern::AddressSpace* address_space() { return as_; }

@@ -51,9 +51,14 @@ TEST(FiberSteal, BlockedWorkerGetsItsDequeStolen) {
       children.push_back(p->Spawn([&] { done.fetch_add(1); }));
     }
     children_spawned.store(true);
-    // Block the worker thread itself, not the fiber; long enough to cover
-    // several park timeouts.
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Block the worker thread itself, not the fiber — and stay blocked until
+    // the children have run (deadline-guarded).  A fixed sleep races with the
+    // other worker's OS scheduling under load: if it doesn't get a slot in
+    // time, this worker wakes and runs its own children, and no steal happens.
+    const auto wake = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (done.load() < 32 && std::chrono::steady_clock::now() < wake) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     for (auto& c : children) {
       p->Join(c);
     }
@@ -69,7 +74,10 @@ TEST(FiberSteal, BlockedWorkerGetsItsDequeStolen) {
   pool.Join(producer);
   const FiberPoolStats s = pool.stats();
   EXPECT_GT(s.steals, 0u);
-  EXPECT_GE(s.steal_attempts, s.steals);
+  EXPECT_GT(s.steal_attempts, 0u);
+  // steals counts fibers, steal_attempts counts deque probes; one successful
+  // probe can take a batch of up to 16, so attempts bounds steals / 16.
+  EXPECT_GE(s.steal_attempts * 16, s.steals);
   EXPECT_GT(s.parks, 0u);
 }
 

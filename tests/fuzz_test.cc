@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
 #include <tuple>
 
 #include "src/apps/synthetic.h"
+#include "src/inject/fault_plan.h"
+#include "src/inject/shrink.h"
 #include "src/rt/harness.h"
 #include "src/rt/topaz_runtime.h"
 #include "src/trace/invariants.h"
@@ -107,6 +112,117 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomProgramFuzz,
     ::testing::Combine(::testing::Values(Sys::kTopaz, Sys::kOrigFt, Sys::kNewFt),
                        ::testing::Range<uint64_t>(1, 13)),
+    FuzzName);
+
+// ---------------------------------------------------------------------------
+// Fault sweep: the same random programs under random fault plans
+// (DESIGN.md §11).  A failure shrinks the plan and prints a one-line
+// `--fault-plan=` spec that deterministically reproduces it.
+// ---------------------------------------------------------------------------
+
+struct SweepOutcome {
+  bool ok = true;
+  std::string detail;
+};
+
+// One fuzz run of `sys`/`seed` under `plan`.  The run must terminate with
+// every thread finished (injected I/O errors are transient-with-retries in
+// this sweep, so no thread observes a failure) and, with tracing compiled
+// in, the SA invariants must hold under plan-widened thresholds.
+SweepOutcome RunUnderPlan(Sys sys, uint64_t seed, const inject::FaultPlan& plan) {
+  rt::HarnessConfig config;
+  config.processors = 3;
+  config.seed = seed;
+  config.kernel.mode =
+      sys == Sys::kNewFt ? kern::KernelMode::kSchedulerActivations
+                         : kern::KernelMode::kNativeTopaz;
+  rt::Harness h(config);
+  h.EnableFaultInjection(plan);
+  // Virtual-time watchdog: a wedged interleaving surfaces as a diagnosable
+  // stall instead of an opaque event-budget abort.  Generous: progress is
+  // counted in whole threads finished, and a spiked 50 ms disk read inside a
+  // 25-op program legitimately stretches the gap between finishes.
+  h.set_stall_timeout(sim::Msec(30000) + 100 * plan.ExtraIdleSlack());
+
+  std::unique_ptr<rt::Runtime> rt;
+  switch (sys) {
+    case Sys::kTopaz:
+      rt = std::make_unique<rt::TopazRuntime>(&h.kernel(), "sweep");
+      break;
+    case Sys::kOrigFt:
+    case Sys::kNewFt: {
+      ult::UltConfig uc;
+      uc.max_vcpus = 3;
+      rt = std::make_unique<ult::UltRuntime>(
+          &h.kernel(), "sweep",
+          sys == Sys::kOrigFt ? ult::BackendKind::kKernelThreads
+                              : ult::BackendKind::kSchedulerActivations,
+          uc);
+      break;
+    }
+  }
+  h.AddRuntime(rt.get());
+  h.AddDaemon("daemon", sim::Msec(3), sim::Usec(300));
+  if (sys == Sys::kNewFt) {
+    h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
+  }
+
+  apps::SpawnRandomProgram(rt.get(), /*threads=*/6, /*ops=*/25, seed * 977 + 13);
+
+  SweepOutcome outcome;
+  const rt::RunResult result = h.TryRun();
+  if (!result.ok()) {
+    outcome.ok = false;
+    outcome.detail = result.diagnostics;
+    return outcome;
+  }
+  if (rt->threads_finished() != rt->threads_created()) {
+    outcome.ok = false;
+    outcome.detail = "threads lost";
+    return outcome;
+  }
+#if SA_TRACE_ENABLED
+  if (sys == Sys::kNewFt) {
+    trace::CheckOptions opts;
+    opts.idle_ready_threshold += plan.ExtraIdleSlack();
+    const trace::CheckResult check =
+        trace::CheckInvariants(h.trace()->Snapshot(), opts);
+    if (!check.ok()) {
+      outcome.ok = false;
+      outcome.detail = check.Summary();
+    }
+  }
+#endif
+  return outcome;
+}
+
+class FaultSweep : public ::testing::TestWithParam<std::tuple<Sys, uint64_t>> {};
+
+TEST_P(FaultSweep, SurvivesRandomFaultPlan) {
+  const Sys sys = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  // The sweep avoids surfacing I/O errors to threads (random programs use
+  // fire-and-forget Io), so any plan is fair game for "must still finish".
+  inject::FaultPlan plan = inject::FaultPlan::Random(seed * 31 + 7);
+  plan.io_retries = std::max(plan.io_retries, 6);  // transient failures only
+
+  const SweepOutcome outcome = RunUnderPlan(sys, seed, plan);
+  if (outcome.ok) {
+    return;
+  }
+  // Shrink to a minimal plan that still fails and print the replayable spec.
+  const inject::ShrinkResult shrunk = inject::ShrinkPlan(
+      plan, [&](const inject::FaultPlan& p) { return !RunUnderPlan(sys, seed, p).ok; });
+  const inject::FaultPlan& culprit = shrunk.failing ? shrunk.plan : plan;
+  ADD_FAILURE() << "fault sweep failed; minimized reproducer (machine seed "
+                << seed << "):\n  --fault-plan=" << culprit.ToSpec() << "\n"
+                << outcome.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, FaultSweep,
+    ::testing::Combine(::testing::Values(Sys::kTopaz, Sys::kOrigFt, Sys::kNewFt),
+                       ::testing::Range<uint64_t>(1, 9)),
     FuzzName);
 
 }  // namespace
