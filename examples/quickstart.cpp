@@ -3,6 +3,7 @@
 //
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --fault-plan=seed=17,io_fail=0.5,io_spike=0.25
+//   $ ./examples/quickstart --spaces=3 --churn
 //
 // The workload forks four workers that compute and do one blocking I/O each;
 // watch the add-processor / blocked / unblocked upcall counts: every kernel
@@ -12,13 +13,22 @@
 // With --fault-plan, the run replays a fault-injection spec (DESIGN.md §11)
 // — the same one-line format the fault-sweep tests print when a shrunk plan
 // reproduces a failure — and the report grows a robustness-counter line.
+//
+// With --spaces=N, N copies of the workload run in separate address spaces
+// competing for the machine.  Adding --churn makes spaces 1..N-1 arrive
+// mid-run and plants random lifecycle faults (crash / hang / exit,
+// DESIGN.md §12) against the fleet unless an explicit --fault-plan already
+// says what to inject; the per-space status block at the end shows who
+// survived and what the kernel reclaimed from those who did not.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/inject/fault_plan.h"
+#include "src/kern/space_reaper.h"
 #include "src/rt/harness.h"
 #include "src/rt/report.h"
 #include "src/ult/ult_runtime.h"
@@ -44,17 +54,30 @@ sim::Program Main(rt::ThreadCtx& t) {
 int main(int argc, char** argv) {
   inject::FaultPlan plan;
   bool injecting = false;
+  int spaces = 1;
+  bool churn = false;
   for (int i = 1; i < argc; ++i) {
-    constexpr const char* kFlag = "--fault-plan=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+    constexpr const char* kPlanFlag = "--fault-plan=";
+    constexpr const char* kSpacesFlag = "--spaces=";
+    if (std::strncmp(argv[i], kPlanFlag, std::strlen(kPlanFlag)) == 0) {
       std::string error;
-      if (!inject::FaultPlan::Parse(argv[i] + std::strlen(kFlag), &plan, &error)) {
+      if (!inject::FaultPlan::Parse(argv[i] + std::strlen(kPlanFlag), &plan, &error)) {
         std::fprintf(stderr, "bad fault plan spec: %s\n", error.c_str());
         return 1;
       }
       injecting = true;
+    } else if (std::strncmp(argv[i], kSpacesFlag, std::strlen(kSpacesFlag)) == 0) {
+      spaces = std::atoi(argv[i] + std::strlen(kSpacesFlag));
+      if (spaces < 1 || spaces > 16) {
+        std::fprintf(stderr, "--spaces wants a count in [1, 16]\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      churn = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--fault-plan=seed=N,key=value,...]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--fault-plan=seed=N,key=value,...] [--spaces=N] "
+                   "[--churn]\n",
                    argv[0]);
       return 1;
     }
@@ -65,27 +88,52 @@ int main(int argc, char** argv) {
   config.processors = 4;
   config.kernel.mode = kern::KernelMode::kSchedulerActivations;
   rt::Harness harness(config);
+  if (churn && !injecting) {
+    // No explicit plan: plant random lifecycle faults so the churn run has
+    // something to survive (deterministic in the machine seed).
+    plan = inject::FaultPlan::RandomChurn(config.seed, spaces);
+    injecting = true;
+  }
   if (injecting) {
     std::printf("replaying fault plan: %s\n", plan.ToSpec().c_str());
     harness.EnableFaultInjection(plan);
   }
 
-  // FastThreads on scheduler activations, up to 4 virtual processors.
-  ult::UltConfig uc;
-  uc.max_vcpus = 4;
-  ult::UltRuntime threads(&harness.kernel(), "quickstart",
-                          ult::BackendKind::kSchedulerActivations, uc);
-  harness.AddRuntime(&threads);
+  // FastThreads on scheduler activations, up to 4 virtual processors per
+  // space.  Every space runs its own copy of the fork/join workload.
+  std::vector<ult::UltRuntime*> apps;
+  auto make_space = [&](int index) {
+    ult::UltConfig uc;
+    uc.max_vcpus = 4;
+    auto rt = std::make_unique<ult::UltRuntime>(
+        &harness.kernel(), "app" + std::to_string(index),
+        ult::BackendKind::kSchedulerActivations, uc);
+    rt->Spawn(Main, "main");
+    apps.push_back(rt.get());
+    return rt;
+  };
 
-  threads.Spawn(Main, "main");
+  std::vector<std::unique_ptr<ult::UltRuntime>> owned;
+  owned.push_back(make_space(0));
+  harness.AddRuntime(owned.back().get());
+  if (churn && spaces > 1) {
+    harness.AddChurn(spaces - 1, sim::Msec(5),
+                     [&](int i) { return make_space(i + 1); });
+  } else {
+    for (int i = 1; i < spaces; ++i) {
+      owned.push_back(make_space(i));
+      harness.AddRuntime(owned.back().get());
+    }
+  }
+
   const sim::Time elapsed = harness.Run();
 
   const auto& k = harness.kernel().counters();
-  const auto& u = threads.fast_threads().counters();
+  const auto& u = apps[0]->fast_threads().counters();
   std::printf("finished in %s of virtual time\n", sim::FormatDuration(elapsed).c_str());
-  std::printf("threads: %zu created, %zu finished\n", threads.threads_created(),
-              threads.threads_finished());
-  std::printf("user-level ops: %lld forks, %lld dispatches, %lld steals\n",
+  std::printf("threads (app0): %zu created, %zu finished\n",
+              apps[0]->threads_created(), apps[0]->threads_finished());
+  std::printf("user-level ops (app0): %lld forks, %lld dispatches, %lld steals\n",
               static_cast<long long>(u.forks), static_cast<long long>(u.dispatches),
               static_cast<long long>(u.steals));
   std::printf("upcalls: %lld total (%lld add-processor, %lld blocked, %lld unblocked, "
@@ -98,6 +146,31 @@ int main(int argc, char** argv) {
   std::printf("downcalls: %lld add-more-processors, %lld processor-idle\n",
               static_cast<long long>(k.downcalls_add_more),
               static_cast<long long>(k.downcalls_idle));
+
+  const kern::SpaceReaper* reaper = harness.kernel().reaper();
+  if (apps.size() > 1 || !reaper->teardowns().empty()) {
+    std::printf("\nper-space status:\n");
+    for (ult::UltRuntime* app : apps) {
+      const kern::AddressSpace* as = app->address_space();
+      const kern::TeardownRecord* td = nullptr;
+      for (const kern::TeardownRecord& rec : reaper->teardowns()) {
+        if (rec.as_id == as->id()) {
+          td = &rec;
+        }
+      }
+      if (td != nullptr) {
+        std::printf("  %-6s %-8s %d threads and %d processors reclaimed in %s\n",
+                    app->name().c_str(), kern::TeardownCauseName(td->cause),
+                    td->threads_reclaimed, td->procs_returned,
+                    sim::FormatDuration(td->latency()).c_str());
+      } else {
+        std::printf("  %-6s survived  %zu/%zu threads finished\n",
+                    app->name().c_str(), app->threads_finished(),
+                    app->threads_created());
+      }
+    }
+  }
+
   std::printf("\n%s", rt::MakeReport(harness).ToString().c_str());
   return 0;
 }

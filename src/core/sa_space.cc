@@ -5,6 +5,7 @@
 
 #include "src/common/log.h"
 #include "src/kern/proc_alloc.h"
+#include "src/kern/space_reaper.h"
 
 namespace sa::core {
 
@@ -82,6 +83,9 @@ UserThreadState SaSpace::CaptureUserState(kern::KThread* act) {
 }
 
 void SaSpace::QueueEvent(UpcallEvent ev) {
+  if (as_->reaped()) {
+    return;  // quarantined: the event has no consumer any more
+  }
   auto& counters = kernel_->counters();
   switch (ev.kind) {
     case UpcallEvent::Kind::kAddProcessor:
@@ -208,6 +212,9 @@ void SaSpace::OnUpcallProcessorReady(hw::Processor* proc, kern::KThread* stopped
 }
 
 void SaSpace::EnsureDelivery() {
+  if (as_->reaped()) {
+    return;
+  }
   // An injected deferral in flight already has a retry scheduled that will
   // deliver (or re-enter here); starting another preemption meanwhile would
   // stop a second processor for the same batch.
@@ -235,6 +242,9 @@ void SaSpace::EnsureDelivery() {
 }
 
 void SaSpace::DeliverOn(hw::Processor* proc) {
+  if (as_->reaped()) {
+    return;
+  }
   SA_CHECK_MSG(as_->IsAssigned(proc), "upcall on a processor we do not own");
   SA_CHECK(!proc->has_span());
   upcall_requested_ = false;
@@ -251,6 +261,9 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
                                   as_->id());
       kernel_->engine().ScheduleIn(kernel_->costs().disk_latency, [this, proc] {
         upcall_fault_pending_ = false;
+        if (as_->reaped()) {
+          return;  // the space died while its upcall path was paging in
+        }
         kernel_->engine().TraceEmit(trace::cat::kUpcall,
                                     trace::Kind::kUpcallFaultEnd, proc->id(),
                                     as_->id());
@@ -291,6 +304,9 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
       ++inject_defers_pending_;
       kernel_->engine().ScheduleIn(defer, [this, proc, redraw] {
         --inject_defers_pending_;
+        if (as_->reaped()) {
+          return;  // the space died while the delivery was deferred
+        }
         const bool proc_usable = as_->IsAssigned(proc) && !proc->has_span() &&
                                  kernel_->running_on(proc) == nullptr;
         if (pending_.empty()) {
@@ -323,6 +339,9 @@ void SaSpace::DeliverOn(hw::Processor* proc) {
 }
 
 void SaSpace::DeliverNow(hw::Processor* proc) {
+  if (as_->reaped()) {
+    return;
+  }
   SA_CHECK(as_->IsAssigned(proc) && !proc->has_span());
   std::vector<UpcallEvent> events = std::move(pending_);
   pending_.clear();
@@ -351,10 +370,25 @@ void SaSpace::DeliverNow(hw::Processor* proc) {
       kernel_->upcall_latency().Add(now - ev.queued_at);
     }
   }
+  // Hang watchdog: the runtime must acknowledge this delivery (it does so
+  // from its upcall handler); a silent drop starts the ping/deadline clock.
+  kernel_->reaper()->WatchUpcall(as_);
   kernel_->RunContextOn(proc, fresh->kthread(), kernel_->UpcallCost() + setup_cost);
 }
 
+int SaSpace::OnSpaceReaped() {
+  const int discarded = static_cast<int>(pending_.size());
+  pending_.clear();
+  upcall_requested_ = false;
+  cache_.clear();  // the reaper marks every cached activation dead
+  debug_stopped_.clear();
+  return discarded;
+}
+
 void SaSpace::UpdateDemand() {
+  if (as_->reaped()) {
+    return;  // the reaper pinned demand at zero
+  }
   int desired = user_desired_;
   // A pending *unblocked* thread needs a processor (the kernel must deliver
   // it so it can run).  A pending *preemption* notification does not — it
@@ -362,13 +396,29 @@ void SaSpace::UpdateDemand() {
   // high-priority space would steal a processor back just to be told it
   // lost one).
   bool unblocked_pending = false;
+  bool stranded_thread = false;
   for (const UpcallEvent& ev : pending_) {
     if (ev.kind == UpcallEvent::Kind::kUnblocked) {
       unblocked_pending = true;
-      break;
+    }
+    // A preempted activation whose cookie is set was running a user-level
+    // thread; the captured state in this event is now the only record that
+    // the thread exists.  (A cookie-less preemption is an idle vcpu — safe
+    // to park indefinitely.)
+    if (ev.kind == UpcallEvent::Kind::kPreempted && ev.state.cookie != nullptr) {
+      stranded_thread = true;
     }
   }
   if (unblocked_pending && desired < 1) {
+    desired = 1;
+  }
+  // A preemption notification may wait for the next grant in the normal
+  // course — but only while a grant can still happen.  If demand hit zero
+  // (e.g. an idle downcall raced the revocation) just as the last processor
+  // was revoked mid-thread, the runtime still believes the thread is
+  // running and will never re-raise demand; without a minimal claim the
+  // delayed notification never lands and the thread is lost.
+  if (stranded_thread && desired < 1 && as_->assigned().empty()) {
     desired = 1;
   }
   kernel_->allocator()->SetDesired(as_, desired);

@@ -67,6 +67,7 @@ class SaSpace : public kern::SaSpaceIface {
   void OnThreadBlockedInKernel(kern::KThread* blocked, hw::Processor* proc) override;
   void OnThreadUnblockedInKernel(kern::KThread* unblocked) override;
   void OnUpcallProcessorReady(hw::Processor* proc, kern::KThread* stopped) override;
+  int OnSpaceReaped() override;
 
   // ---- debugger interface (Section 4.4) ----
   // Stops an activation without generating an upcall (logical processor);

@@ -98,6 +98,18 @@ sim::Duration FaultPlan::ExtraIdleSlack() const {
     // interrupt + untuned upcall delivery) of its own.
     slack += sim::Msec(5) * storm_burst;
   }
+  if (hang_at > 0) {
+    // A hung space holds its processors hostage until the upcall-ack
+    // watchdog pings out (base deadline doubled per ping — see
+    // kern/space_reaper.h), and survivors only regain the freed processors
+    // after the teardown's revocations drain.
+    slack += sim::Msec(100);
+  }
+  if (crash_at > 0 || exit_at > 0) {
+    // Teardown itself is quick, but the dying space's processors spend a
+    // revocation-in-flight window being funneled back to the allocator.
+    slack += sim::Msec(10);
+  }
   return slack;
 }
 
@@ -125,6 +137,12 @@ std::string FaultPlan::ToSpec() const {
   duration("alloc_retry", alloc_retry, def.alloc_retry);
   duration("storm_period", storm_period, def.storm_period);
   integer("storm_burst", storm_burst, def.storm_burst);
+  duration("crash_at", crash_at, def.crash_at);
+  integer("crash_space", crash_space, def.crash_space);
+  duration("hang_at", hang_at, def.hang_at);
+  integer("hang_space", hang_space, def.hang_space);
+  duration("exit_at", exit_at, def.exit_at);
+  integer("exit_space", exit_space, def.exit_space);
   return s;
 }
 
@@ -172,6 +190,18 @@ bool FaultPlan::Parse(std::string_view spec, FaultPlan* out, std::string* error)
       ok = ParseDuration(value, &plan.storm_period);
     } else if (key == "storm_burst") {
       ok = ParseInt(value, &plan.storm_burst);
+    } else if (key == "crash_at") {
+      ok = ParseDuration(value, &plan.crash_at);
+    } else if (key == "crash_space") {
+      ok = ParseInt(value, &plan.crash_space);
+    } else if (key == "hang_at") {
+      ok = ParseDuration(value, &plan.hang_at);
+    } else if (key == "hang_space") {
+      ok = ParseInt(value, &plan.hang_space);
+    } else if (key == "exit_at") {
+      ok = ParseDuration(value, &plan.exit_at);
+    } else if (key == "exit_space") {
+      ok = ParseInt(value, &plan.exit_space);
     } else {
       return fail("unknown key \"" + std::string(key) + "\"");
     }
@@ -193,7 +223,10 @@ bool FaultPlan::operator==(const FaultPlan& other) const {
          alloc_deny == other.alloc_deny &&
          alloc_deny_burst == other.alloc_deny_burst &&
          alloc_retry == other.alloc_retry && storm_period == other.storm_period &&
-         storm_burst == other.storm_burst;
+         storm_burst == other.storm_burst && crash_at == other.crash_at &&
+         crash_space == other.crash_space && hang_at == other.hang_at &&
+         hang_space == other.hang_space && exit_at == other.exit_at &&
+         exit_space == other.exit_space;
 }
 
 FaultPlan FaultPlan::Random(uint64_t seed) {
@@ -214,6 +247,27 @@ FaultPlan FaultPlan::Random(uint64_t seed) {
   if (rng.Below(2) == 0) {
     plan.storm_period = sim::Msec(2 + static_cast<int64_t>(rng.Below(7)));
     plan.storm_burst = 1 + static_cast<int>(rng.Below(2));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::RandomChurn(uint64_t seed, int spaces) {
+  FaultPlan plan = Random(seed);
+  // A separate stream keyed off the same seed, so RandomChurn(s, n) extends
+  // Random(s) instead of redrawing it.
+  common::Rng rng(seed * 0xbf58476d1ce4e5b9ull + 7);
+  if (spaces < 1) spaces = 1;
+  if (rng.Below(2) == 0) {
+    plan.crash_at = sim::Msec(5 + static_cast<int64_t>(rng.Below(40)));
+    plan.crash_space = static_cast<int>(rng.Below(static_cast<uint64_t>(spaces)));
+  }
+  if (rng.Below(2) == 0) {
+    plan.hang_at = sim::Msec(5 + static_cast<int64_t>(rng.Below(40)));
+    plan.hang_space = static_cast<int>(rng.Below(static_cast<uint64_t>(spaces)));
+  }
+  if (rng.Below(2) == 0) {
+    plan.exit_at = sim::Msec(5 + static_cast<int64_t>(rng.Below(40)));
+    plan.exit_space = static_cast<int>(rng.Below(static_cast<uint64_t>(spaces)));
   }
   return plan;
 }

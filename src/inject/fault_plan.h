@@ -63,11 +63,36 @@ struct FaultPlan {
   sim::Duration storm_period = 0;  // 0 = off
   int storm_burst = 1;
 
+  // Address-space lifecycle faults (kern/space_reaper.h).  Each pair plants
+  // one fault at an absolute virtual time against one space, identified by
+  // its arrival index among the harness's foreground runtimes (0 = first
+  // added/arrived).  0 = off for the `*_at` times.
+  //
+  //   crash: the runtime faults (an upcall handler or user-level thread
+  //          traps) — the kernel tears the space down immediately.
+  //   hang:  the runtime stops responding to upcalls; the kernel's per-space
+  //          upcall-ack watchdog (deadline with exponential backoff) declares
+  //          it dead and tears it down.
+  //   exit:  the runtime exits mid-run without releasing anything — an
+  //          orderly departure that leaks activations, threads and pending
+  //          I/O for the kernel to reclaim.
+  sim::Duration crash_at = 0;
+  int crash_space = 0;
+  sim::Duration hang_at = 0;
+  int hang_space = 0;
+  sim::Duration exit_at = 0;
+  int exit_space = 0;
+
+  // True when any lifecycle fault is planted.
+  bool lifecycle_active() const {
+    return crash_at > 0 || hang_at > 0 || exit_at > 0;
+  }
+
   // True when any fault class is enabled.  An inactive plan injects nothing
   // and perturbs nothing (byte-identical traces to an injector-free run).
   bool active() const {
     return io_fail > 0.0 || io_spike > 0.0 || upcall_delay > 0.0 ||
-           alloc_deny > 0.0 || storm_period > 0;
+           alloc_deny > 0.0 || storm_period > 0 || lifecycle_active();
   }
 
   // Slack the no-idle-while-ready trace invariant needs on top of its default
@@ -86,8 +111,15 @@ struct FaultPlan {
   bool operator==(const FaultPlan& other) const;
 
   // A quantized random plan for fuzz sweeps: probabilities are multiples of
-  // 1/20 so specs print short and round-trip exactly.
+  // 1/20 so specs print short and round-trip exactly.  Never plants
+  // lifecycle faults (the plain sweeps assert every thread finishes).
   static FaultPlan Random(uint64_t seed);
+
+  // Random(seed) plus lifecycle faults, for churn sweeps that expect spaces
+  // to die: each of crash/hang/exit is planted independently with
+  // probability 1/2, at a quantized virtual time against a random space
+  // index in [0, spaces).
+  static FaultPlan RandomChurn(uint64_t seed, int spaces);
 };
 
 // Counters kept by the injector, surfaced through rt::RunReport.

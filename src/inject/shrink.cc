@@ -39,6 +39,24 @@ const std::vector<Mutator>& Mutators() {
         p->storm_period = 0;
         return true;
       },
+      [](FaultPlan* p) {
+        if (p->crash_at == 0) return false;
+        p->crash_at = 0;
+        p->crash_space = 0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->hang_at == 0) return false;
+        p->hang_at = 0;
+        p->hang_space = 0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->exit_at == 0) return false;
+        p->exit_at = 0;
+        p->exit_space = 0;
+        return true;
+      },
       // Then halve surviving magnitudes.
       [](FaultPlan* p) {
         if (p->io_fail == 0.0) return false;

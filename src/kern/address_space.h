@@ -26,6 +26,26 @@ enum class AsMode {
   kSchedulerActivations,  // processors allocated explicitly; events upcalled
 };
 
+// Lifecycle of a space under the teardown state machine (space_reaper.h).
+// kAlive → kTearingDown (quarantined; processors being revoked) → kDead
+// (nothing in the kernel references the space any more).
+enum class AsLifecycle {
+  kAlive,
+  kTearingDown,
+  kDead,
+};
+
+// Why a space was torn down.
+enum class TeardownCause {
+  kNone,
+  kCrashed,  // runtime faulted (upcall handler / user thread trap)
+  kHung,     // stopped responding to upcalls; watchdog declared it dead
+  kExited,   // orderly exit that leaked resources
+};
+
+const char* AsLifecycleName(AsLifecycle s);
+const char* TeardownCauseName(TeardownCause c);
+
 class AddressSpace {
  public:
   AddressSpace(int id, std::string name, AsMode mode, int priority)
@@ -52,6 +72,19 @@ class AddressSpace {
   // Scheduler-activation machinery for this space; set by core::SaSpace.
   SaSpaceIface* sa() const { return sa_; }
   void set_sa(SaSpaceIface* sa) { sa_ = sa; }
+
+  // --- lifecycle (space_reaper.h owns the transitions) ---
+  AsLifecycle lifecycle() const { return lifecycle_; }
+  void set_lifecycle(AsLifecycle s) { lifecycle_ = s; }
+  // True once teardown has begun: the kernel must stop scheduling for this
+  // space and funnel its processors back to the allocator.
+  bool reaped() const { return lifecycle_ != AsLifecycle::kAlive; }
+  TeardownCause teardown_cause() const { return teardown_cause_; }
+  void set_teardown_cause(TeardownCause c) { teardown_cause_ = c; }
+  // A hung runtime is still alive in the kernel's eyes (until the watchdog
+  // gives up) but its user level silently drops every upcall.
+  bool hung() const { return hung_; }
+  void set_hung(bool h) { hung_ = h; }
 
   // --- processor-allocator bookkeeping (both modes, Section 4.1) ---
   // How many processors this space currently wants.  For SA spaces this is
@@ -99,6 +132,9 @@ class AddressSpace {
   bool heavyweight_ = false;
   VmSpace vm_;
   SaSpaceIface* sa_ = nullptr;
+  AsLifecycle lifecycle_ = AsLifecycle::kAlive;
+  TeardownCause teardown_cause_ = TeardownCause::kNone;
+  bool hung_ = false;
   int desired_processors_ = 0;
   std::vector<hw::Processor*> assigned_;
   std::vector<std::unique_ptr<KThread>> threads_;

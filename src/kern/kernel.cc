@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/kern/proc_alloc.h"
+#include "src/kern/space_reaper.h"
 
 namespace sa::kern {
 
@@ -27,6 +28,7 @@ Kernel::Kernel(hw::Machine* machine, Config config)
       allocator_->AddFree(machine_->processor(i));
     }
   }
+  reaper_ = std::make_unique<SpaceReaper>(this);
 }
 
 Kernel::~Kernel() = default;
@@ -120,6 +122,9 @@ void Kernel::UnassignProcessor(hw::Processor* proc) {
   owner_[static_cast<size_t>(proc->id())] = nullptr;
   engine().TraceEmit(trace::cat::kAlloc, trace::Kind::kProcRevoke, proc->id(),
                      as->id(), static_cast<uint64_t>(as->assigned().size()));
+  if (as->reaped()) {
+    reaper_->NoteProcessorDetached(as);
+  }
 }
 
 AddressSpace* Kernel::OwnerOf(const hw::Processor* proc) const {
@@ -187,6 +192,9 @@ bool Kernel::PlaceHighPriority(KThread* kt) {
 
 void Kernel::MakeReady(KThread* kt) {
   AddressSpace* as = kt->address_space();
+  if (as->reaped()) {
+    return;  // a reaped space's threads never become runnable again
+  }
   SA_CHECK_MSG(as->mode() == AsMode::kKernelThreads || config_.mode == KernelMode::kNativeTopaz,
                "activations are not scheduled through kernel ready queues");
   SA_CHECK(kt->state() != KThreadState::kReady && kt->state() != KThreadState::kRunning);
@@ -288,6 +296,20 @@ void Kernel::DispatchOn(hw::Processor* proc) {
       return;
     }
   }
+  AddressSpace* owner = OwnerOf(proc);
+  if (owner != nullptr && owner->reaped()) {
+    // Catch-all for teardown: a processor of a quarantined space that
+    // reaches a dispatch point with no revocation latched is detached here.
+    // Any still-pending action belonged to the dead space; drop it so its
+    // IPI cannot fire against the processor's next owner.
+    pending_[pid] = PendingAction{};
+    ClearRunning(proc);
+    UnassignProcessor(proc);
+    proc->BeginKernelSpan(costs().preempt_interrupt, [this, owner, proc] {
+      allocator_->OnRevokeComplete(owner, proc);
+    });
+    return;
+  }
   Domain* domain = DomainOfProcessor(proc);
   if (domain == nullptr) {
     // Unowned processor (free pool) or SA-controlled: nothing to dispatch.
@@ -340,7 +362,10 @@ void Kernel::OnInterrupt(hw::Processor* proc, hw::Interrupt irq) {
 
   KThread* stopped = nullptr;
   KThread* kt = running_on(proc);
-  if (kt != nullptr && !irq.was_idle) {
+  if (kt != nullptr && !irq.was_idle && !kt->address_space()->reaped()) {
+    // A reaped space's context is not saved and not notified: the thread is
+    // already dead, so the interrupt just strips the processor (stopped
+    // stays null and the action below treats it as caught-between-spans).
     kt->host()->OnPreempted(kt, std::move(irq));
     stopped = kt;
   }
@@ -369,6 +394,11 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
         DomainFor(stopped->address_space())->ready.PushBack(stopped);
       }
       KThread* target = action.thread;
+      if (target->state() != KThreadState::kReady) {
+        // The target died (space reaped) between the request and delivery.
+        proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc] { DispatchOn(proc); });
+        break;
+      }
       proc->BeginKernelSpan(costs().preempt_interrupt,
                             [this, proc, target] { ChargeDispatchAndRun(proc, target); });
       break;
@@ -379,15 +409,17 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
       if (old_as != nullptr) {
         UnassignProcessor(proc);
       }
+      const bool notify = old_as != nullptr && !old_as->reaped() &&
+                          old_as->mode() == AsMode::kSchedulerActivations;
       if (stopped != nullptr) {
-        if (old_as != nullptr && old_as->mode() == AsMode::kSchedulerActivations) {
+        if (notify) {
           stopped->set_state(KThreadState::kStopped);
           old_as->sa()->OnProcessorRevoked(proc, stopped);
-        } else {
+        } else if (!stopped->address_space()->reaped()) {
           stopped->set_state(KThreadState::kReady);
           DomainFor(stopped->address_space())->ready.PushBack(stopped);
         }
-      } else if (old_as != nullptr && old_as->mode() == AsMode::kSchedulerActivations) {
+      } else if (notify) {
         old_as->sa()->OnProcessorRevoked(proc, nullptr);
       }
       proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc, old_as] {
@@ -397,6 +429,16 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
     }
 
     case PendingAction::Kind::kUpcallDeliver: {
+      AddressSpace* owner = OwnerOf(proc);
+      if (owner != nullptr && owner->reaped()) {
+        // The space died while this delivery interrupt was in flight; the
+        // processor is simply detached instead.
+        UnassignProcessor(proc);
+        proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc, owner] {
+          allocator_->OnRevokeComplete(owner, proc);
+        });
+        break;
+      }
       if (stopped != nullptr) {
         stopped->set_state(KThreadState::kStopped);
       }
@@ -430,7 +472,10 @@ void Kernel::SysFork(KThread* caller, KThread* child, std::function<void()> done
   SA_CHECK(child->state() == KThreadState::kBorn);
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(costs().kernel_trap + CreateCost(caller->address_space()),
-                        [this, child, done = std::move(done)] {
+                        [this, caller, proc, child, done = std::move(done)] {
+                          if (AbortSyscallIfReaped(caller, proc)) {
+                            return;
+                          }
                           MakeReady(child);
                           done();
                         });
@@ -446,6 +491,9 @@ void Kernel::SysExit(KThread* caller) {
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(
       costs().kernel_trap + ExitCost(caller->address_space()), [this, caller, proc] {
+        if (AbortSyscallIfReaped(caller, proc)) {
+          return;  // the reaper already reclaimed the caller
+        }
         caller->set_state(KThreadState::kDead);
         --live_threads_;
         AddressSpace* as = caller->address_space();
@@ -466,6 +514,9 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
       [this, caller, proc, io, latency, injectable,
        block_check = std::move(block_check),
        not_blocked = std::move(not_blocked)] {
+        if (AbortSyscallIfReaped(caller, proc)) {
+          return;
+        }
         if (block_check != nullptr && !block_check()) {
           // The awaited condition arrived before we committed to sleeping.
           SA_CHECK(not_blocked != nullptr);
@@ -543,6 +594,9 @@ void Kernel::SysYield(KThread* caller) {
                      static_cast<uint64_t>(caller->id()));
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(costs().kernel_trap, [this, caller, proc] {
+    if (AbortSyscallIfReaped(caller, proc)) {
+      return;
+    }
     AddressSpace* as = caller->address_space();
     ClearRunning(proc);
     caller->set_state(KThreadState::kReady);
@@ -578,6 +632,12 @@ void Kernel::ScheduleIoCompletion(KThread* kt, sim::Duration latency,
 
 void Kernel::FinishIo(KThread* kt, sim::Duration latency, bool injectable,
                       int attempt) {
+  if (kt->address_space()->reaped()) {
+    // Lazy cancellation: the completion event outlived its space.  The
+    // thread is already dead, so the result has no consumer — discard.
+    reaper_->NoteIoDiscarded(kt);
+    return;
+  }
   inject::FaultInjector* injector = this->injector();
   if (injectable && injector != nullptr && injector->ShouldFailIo()) {
     AddressSpace* as = kt->address_space();
@@ -624,17 +684,49 @@ void Kernel::SysWakeup(KThread* caller, KThread* target, std::function<void()> d
                      static_cast<uint64_t>(trace::Syscall::kWakeup),
                      static_cast<uint64_t>(caller->id()));
   SA_CHECK(caller->state() == KThreadState::kRunning);
-  SA_CHECK_MSG(target->state() == KThreadState::kBlocked, "waking a non-blocked thread");
+  SA_CHECK_MSG(target->state() == KThreadState::kBlocked ||
+                   target->address_space()->reaped(),
+               "waking a non-blocked thread");
   hw::Processor* proc = caller->processor();
   proc->BeginKernelSpan(costs().kernel_trap + WakeupCost(caller->address_space()),
-                        [this, target, done = std::move(done)] {
+                        [this, caller, proc, target, done = std::move(done)] {
+                          if (AbortSyscallIfReaped(caller, proc)) {
+                            return;
+                          }
+                          if (target->address_space()->reaped()) {
+                            done();  // the sleeper died with its space
+                            return;
+                          }
                           OnIoComplete(target);
                           done();
                         });
 }
 
+bool Kernel::AbortSyscallIfReaped(KThread* caller, hw::Processor* proc) {
+  if (!caller->address_space()->reaped()) {
+    return false;
+  }
+  // The caller died mid-syscall (its space was quarantined while a kernel
+  // span was charging).  Drop the continuation and give the processor a
+  // dispatch point: DispatchOn consumes the latched revocation, or detaches
+  // the processor through the reaped-owner catch-all.
+  if (running_on(proc) == caller) {
+    ClearRunning(proc);
+  }
+  if (!proc->has_span()) {
+    DispatchOn(proc);
+  }
+  return true;
+}
+
 void Kernel::ChargeKernel(KThread* caller, sim::Duration d, std::function<void()> done) {
-  caller->processor()->BeginKernelSpan(d, std::move(done));
+  hw::Processor* proc = caller->processor();
+  proc->BeginKernelSpan(d, [this, caller, proc, done = std::move(done)] {
+    if (AbortSyscallIfReaped(caller, proc)) {
+      return;
+    }
+    done();
+  });
 }
 
 void Kernel::UpdateKtDemand(AddressSpace* as) {

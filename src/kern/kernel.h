@@ -38,6 +38,7 @@
 namespace sa::kern {
 
 class ProcessorAllocator;
+class SpaceReaper;
 
 enum class KernelMode {
   kNativeTopaz,
@@ -112,6 +113,8 @@ class Kernel {
   KernelMode mode() const { return config_.mode; }
   KernelCounters& counters() { return counters_; }
   ProcessorAllocator* allocator() { return allocator_.get(); }
+  // Teardown state machine for failed address spaces (space_reaper.h).
+  SpaceReaper* reaper() const { return reaper_.get(); }
   // Fault injector installed on the machine (null = injection off).
   inject::FaultInjector* injector() const { return machine_->injector(); }
 
@@ -199,6 +202,7 @@ class Kernel {
 
  private:
   friend class ProcessorAllocator;
+  friend class SpaceReaper;
 
   // Per-scheduling-domain state.  Native mode: a single global domain.
   // SA mode: one domain per kKernelThreads space.
@@ -233,6 +237,11 @@ class Kernel {
   // Applies the injector's latency-spike perturbation (if any) to a blocking
   // I/O's latency, tracing the spike.  Identity when injection is off.
   sim::Duration MaybePerturbLatency(KThread* caller, sim::Duration latency);
+  // If `caller`'s space has been reaped mid-syscall, abandon the syscall:
+  // detach the caller from `proc` and let DispatchOn consume any latched
+  // revocation (or the reaped-owner catch-all) so the processor is
+  // reclaimed.  Returns true when the continuation must stop.
+  bool AbortSyscallIfReaped(KThread* caller, hw::Processor* proc);
   hw::Processor* FindIdleProcessorFor(AddressSpace* as);
   // Native mode: place a high-priority wakeup at a random processor
   // (modelling interrupt-local delivery); may preempt lower-priority work.
@@ -248,6 +257,7 @@ class Kernel {
   Config config_;
   KernelCounters counters_;
   std::unique_ptr<ProcessorAllocator> allocator_;
+  std::unique_ptr<SpaceReaper> reaper_;
 
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   std::vector<KThread*> running_;           // per processor id

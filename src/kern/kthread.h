@@ -62,6 +62,12 @@ class KThreadHost {
   // in kernel-thread semantics it will be resumed directly later (RunOn).
   // Gives the host a chance to update bookkeeping.  Default: nothing.
   virtual void OnUnblocked(KThread* kt) {}
+
+  // The address space this host serves has been quarantined by the reaper;
+  // release user-level state (vcpu bindings, run queues) — none of this
+  // host's threads will ever run again.  Called once per distinct host of a
+  // reaped space.  Default: nothing.
+  virtual void OnSpaceReaped() {}
 };
 
 class KThread {

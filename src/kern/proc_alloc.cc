@@ -239,6 +239,20 @@ int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
   return revoked;
 }
 
+void ProcessorAllocator::ReleaseSpace(AddressSpace* as) {
+  as->set_desired_processors(0);
+  pending_revokes_.erase(as->id());
+  for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
+    if (*it == as) {
+      spaces_.erase(it);
+      break;
+    }
+  }
+  SA_DEBUG(kLog, "released space %s; %d spaces remain", as->name().c_str(),
+           static_cast<int>(spaces_.size()));
+  Rebalance();
+}
+
 void ProcessorAllocator::OnRevokeComplete(AddressSpace* old_as, hw::Processor* proc) {
   if (old_as != nullptr) {
     auto it = pending_revokes_.find(old_as->id());

@@ -48,6 +48,13 @@ class ProcessorAllocator {
   // A processor with no owner and no work (boot, space exit).
   void AddFree(hw::Processor* proc);
 
+  // The reaper finished tearing `as` down: forget it entirely (demand,
+  // in-flight revocation bookkeeping, registration) and rebalance so the
+  // survivors divide the machine among themselves.  Revocations of the dead
+  // space still in flight complete harmlessly (OnRevokeComplete tolerates a
+  // missing bookkeeping entry).
+  void ReleaseSpace(AddressSpace* as);
+
   // Fault injection (DESIGN.md §11): revokes up to `burst` randomly chosen
   // *owned* processors and rebalances, churning allocations through the
   // normal revoke/grant protocol.  Lives here so the in-flight revocation

@@ -42,6 +42,11 @@ class SaSpaceIface {
   // A processor assigned to this space was targeted for an upcall (second
   // preemption used to deliver notifications).  `stopped` as above.
   virtual void OnUpcallProcessorReady(hw::Processor* proc, KThread* stopped) = 0;
+
+  // The reaper quarantined this space (space_reaper.h).  Discard every
+  // undelivered upcall and stop queueing new ones; returns the number of
+  // events discarded so the reaper can account for them.
+  virtual int OnSpaceReaped() = 0;
 };
 
 }  // namespace sa::kern

@@ -1,0 +1,343 @@
+#include "src/kern/space_reaper.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/kern/kernel.h"
+#include "src/kern/proc_alloc.h"
+
+namespace sa::kern {
+
+namespace {
+constexpr const char* kLog = "reaper";
+}  // namespace
+
+const char* AsLifecycleName(AsLifecycle s) {
+  switch (s) {
+    case AsLifecycle::kAlive: return "alive";
+    case AsLifecycle::kTearingDown: return "tearing-down";
+    case AsLifecycle::kDead: return "dead";
+  }
+  return "?";
+}
+
+const char* TeardownCauseName(TeardownCause c) {
+  switch (c) {
+    case TeardownCause::kNone: return "none";
+    case TeardownCause::kCrashed: return "crashed";
+    case TeardownCause::kHung: return "hung";
+    case TeardownCause::kExited: return "exited";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Fault entry points.
+// ---------------------------------------------------------------------------
+
+void SpaceReaper::InjectCrash(AddressSpace* as) {
+  if (as->reaped()) {
+    return;
+  }
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeCrash,
+                              -1, as->id());
+  BeginTeardown(as, TeardownCause::kCrashed);
+}
+
+void SpaceReaper::InjectExit(AddressSpace* as) {
+  if (as->reaped()) {
+    return;
+  }
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeExit,
+                              -1, as->id());
+  BeginTeardown(as, TeardownCause::kExited);
+}
+
+void SpaceReaper::InjectHang(AddressSpace* as) {
+  if (as->reaped()) {
+    return;
+  }
+  // A hang is invisible to the kernel at injection time — the runtime simply
+  // stops acknowledging upcalls — so no trace record is emitted here; the
+  // kernel's view starts with the first missed ping.  Arm the watchdog as if
+  // an upcall were in flight (the hang swallows whatever delivery is next).
+  as->set_hung(true);
+  if (hang_detection_) {
+    Watch& w = watches_[as->id()];
+    if (!w.waiting) {
+      w.waiting = true;
+      w.pings = 0;
+      ++w.epoch;
+      ArmDeadline(as);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hang watchdog.
+// ---------------------------------------------------------------------------
+
+void SpaceReaper::WatchUpcall(AddressSpace* as) {
+  if (!hang_detection_ || as->reaped()) {
+    return;
+  }
+  Watch& w = watches_[as->id()];
+  if (w.waiting) {
+    return;  // a deadline is already armed for an earlier delivery
+  }
+  w.waiting = true;
+  w.pings = 0;
+  ++w.epoch;
+  ArmDeadline(as);
+}
+
+void SpaceReaper::AckUpcalls(AddressSpace* as) {
+  if (!hang_detection_) {
+    return;
+  }
+  auto it = watches_.find(as->id());
+  if (it == watches_.end()) {
+    return;
+  }
+  it->second.waiting = false;
+  it->second.pings = 0;
+  ++it->second.epoch;  // invalidate any in-flight deadline event
+}
+
+void SpaceReaper::ArmDeadline(AddressSpace* as) {
+  Watch& w = watches_[as->id()];
+  const sim::Duration deadline = kAckDeadlineBase << w.pings;
+  const uint64_t epoch = w.epoch;
+  kernel_->engine().ScheduleIn(deadline,
+                               [this, as, epoch] { OnDeadline(as, epoch); });
+}
+
+void SpaceReaper::OnDeadline(AddressSpace* as, uint64_t epoch) {
+  if (as->reaped()) {
+    return;
+  }
+  Watch& w = watches_[as->id()];
+  if (!w.waiting || w.epoch != epoch) {
+    return;  // acknowledged (or re-armed) since this deadline was scheduled
+  }
+  if (as->assigned().empty()) {
+    // Delayed notification (Section 4.2): a space holding no processors has
+    // nowhere to run its upcall handler, so a missed deadline proves
+    // nothing.  Keep watching without counting the miss.
+    ArmDeadline(as);
+    return;
+  }
+  ++w.pings;
+  ++stats_.hang_pings;
+  const bool declare = w.pings >= kMaxPings;
+  const sim::Duration next = declare ? 0 : (kAckDeadlineBase << w.pings);
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeHangPing,
+                              -1, as->id(), static_cast<uint64_t>(w.pings),
+                              static_cast<uint64_t>(next));
+  if (declare) {
+    kernel_->engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeHang,
+                                -1, as->id(), static_cast<uint64_t>(w.pings));
+    SA_INFO(kLog, "space %s declared hung after %d missed pings",
+            as->name().c_str(), w.pings);
+    BeginTeardown(as, TeardownCause::kHung);
+    return;
+  }
+  ArmDeadline(as);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown state machine.
+// ---------------------------------------------------------------------------
+
+void SpaceReaper::BeginTeardown(AddressSpace* as, TeardownCause cause) {
+  if (as->reaped()) {
+    return;  // idempotent: a crash racing the watchdog tears down once
+  }
+  as->set_lifecycle(AsLifecycle::kTearingDown);
+  as->set_teardown_cause(cause);
+  switch (cause) {
+    case TeardownCause::kCrashed: ++stats_.crashes; break;
+    case TeardownCause::kHung: ++stats_.hangs; break;
+    case TeardownCause::kExited: ++stats_.exits; break;
+    case TeardownCause::kNone: break;
+  }
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle,
+                              trace::Kind::kLifeQuarantine, -1, as->id(),
+                              static_cast<uint64_t>(cause));
+  SA_INFO(kLog, "quarantining space %s (%s): %d threads, %d processors",
+          as->name().c_str(), TeardownCauseName(cause),
+          static_cast<int>(as->threads().size()),
+          static_cast<int>(as->assigned().size()));
+
+  TeardownRecord rec;
+  rec.as_id = as->id();
+  rec.cause = cause;
+  rec.begin = kernel_->engine().now();
+
+  // 1. Stop the upcall machinery: no new events queue, undelivered ones are
+  //    discarded and accounted.
+  if (as->sa() != nullptr) {
+    rec.upcalls_discarded = as->sa()->OnSpaceReaped();
+  }
+
+  // 2. Release user-level state once per distinct host (vcpu bindings, run
+  //    queues).  Nothing of this space runs again after this point.
+  std::vector<KThreadHost*> hosts;
+  for (const auto& kt : as->threads()) {
+    KThreadHost* h = kt->host();
+    if (h != nullptr && std::find(hosts.begin(), hosts.end(), h) == hosts.end()) {
+      hosts.push_back(h);
+    }
+  }
+  for (KThreadHost* h : hosts) {
+    h->OnSpaceReaped();
+  }
+
+  // 3. Reclaim every kernel thread and activation.  Ready threads leave
+  //    their domain queue now; running ones are stopped by the revocation
+  //    interrupts below; blocked ones never wake (their I/O completions are
+  //    discarded at fire time — see Kernel::FinishIo).
+  for (const auto& owned : as->threads()) {
+    KThread* kt = owned.get();
+    if (kt->state() == KThreadState::kDead) {
+      continue;  // recycled-off activation discards are already dead
+    }
+    if (kt->state() == KThreadState::kReady && kt->queue_node.linked()) {
+      kernel_->DomainFor(as)->ready.Remove(kt);
+    }
+    kt->set_state(KThreadState::kDead);
+    --kernel_->live_threads_;
+    ++rec.threads_reclaimed;
+  }
+  as->runnable_threads = 0;
+
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeReclaim,
+                              -1, as->id(),
+                              static_cast<uint64_t>(rec.threads_reclaimed),
+                              static_cast<uint64_t>(rec.upcalls_discarded));
+  stats_.threads_reclaimed += rec.threads_reclaimed;
+  stats_.upcalls_discarded += rec.upcalls_discarded;
+  active_[as->id()] = rec;
+
+  // 4. Return the processors.  Demand drops to zero first so a reentrant
+  //    rebalance cannot grant anything back; each held processor is either
+  //    reclaimed on the spot (idle in kernel) or funnelled through the
+  //    normal revocation interrupt, whose reaped-space path detaches it
+  //    without notifying the dead runtime.
+  ProcessorAllocator* alloc = kernel_->allocator();
+  if (alloc != nullptr) {
+    alloc->SetDesired(as, 0);
+    std::vector<hw::Processor*> held(as->assigned());
+    for (hw::Processor* proc : held) {
+      if (!as->IsAssigned(proc)) {
+        continue;  // already reclaimed by a reentrant rebalance
+      }
+      const size_t pid = static_cast<size_t>(proc->id());
+      if (kernel_->running_on(proc) == nullptr && !proc->has_span() &&
+          kernel_->pending_[pid].kind == PendingAction::Kind::kNone &&
+          !proc->interrupt_latched()) {
+        kernel_->UnassignProcessor(proc);  // fires NoteProcessorDetached
+        alloc->OnRevokeComplete(as, proc);
+        continue;
+      }
+      PendingAction action;
+      action.kind = PendingAction::Kind::kRevoke;
+      // A false return means another action is already pending on `proc`;
+      // that action drains through the reaped guards and detaches it too.
+      kernel_->RequestPreemption(proc, action);
+    }
+  }
+
+  if (as->lifecycle() == AsLifecycle::kTearingDown && as->assigned().empty()) {
+    FinishTeardown(as);  // held no processors (or all were idle in kernel)
+  }
+}
+
+void SpaceReaper::NoteProcessorDetached(AddressSpace* as) {
+  auto it = active_.find(as->id());
+  if (it == active_.end()) {
+    return;
+  }
+  ++it->second.procs_returned;
+  ++stats_.procs_returned;
+  if (as->assigned().empty()) {
+    FinishTeardown(as);
+  }
+}
+
+void SpaceReaper::NoteIoDiscarded(const KThread* kt) {
+  ++stats_.io_discarded;
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle,
+                              trace::Kind::kLifeIoDiscard, -1,
+                              kt->address_space()->id(),
+                              static_cast<uint64_t>(kt->id()));
+}
+
+void SpaceReaper::FinishTeardown(AddressSpace* as) {
+  auto it = active_.find(as->id());
+  SA_CHECK(it != active_.end());
+  SA_CHECK(as->lifecycle() == AsLifecycle::kTearingDown);
+  TeardownRecord rec = it->second;
+  active_.erase(it);
+  watches_.erase(as->id());
+  as->set_lifecycle(AsLifecycle::kDead);
+  rec.end = kernel_->engine().now();
+
+  // Forget the space allocator-side; survivors rebalance to their fair share
+  // as the detached processors land back in the free pool.
+  ProcessorAllocator* alloc = kernel_->allocator();
+  if (alloc != nullptr) {
+    alloc->ReleaseSpace(as);
+  }
+
+  const std::string leak = ConservationReport(as);
+  SA_CHECK_MSG(leak.empty(), leak.c_str());
+
+  ++stats_.spaces_reaped;
+  kernel_->engine().TraceEmit(trace::cat::kLifecycle,
+                              trace::Kind::kLifeTeardownDone, -1, as->id(),
+                              static_cast<uint64_t>(rec.procs_returned),
+                              static_cast<uint64_t>(rec.latency()));
+  SA_INFO(kLog, "space %s dead (%s): %d procs returned, %d threads reclaimed, "
+          "%d upcalls discarded, %s teardown latency",
+          as->name().c_str(), TeardownCauseName(rec.cause), rec.procs_returned,
+          rec.threads_reclaimed, rec.upcalls_discarded,
+          sim::FormatDuration(rec.latency()).c_str());
+  teardowns_.push_back(rec);
+}
+
+std::string SpaceReaper::ConservationReport(const AddressSpace* as) const {
+  std::string leak;
+  hw::Machine* machine = kernel_->machine_;
+  for (int i = 0; i < machine->num_processors(); ++i) {
+    const hw::Processor* proc = machine->processor(i);
+    const KThread* running = kernel_->running_on(proc);
+    if (running != nullptr && running->address_space() == as) {
+      leak += "processor " + std::to_string(i) + " still runs a dead thread; ";
+    }
+    if (kernel_->owner_[static_cast<size_t>(i)] == as) {
+      leak += "processor " + std::to_string(i) + " still owned by the space; ";
+    }
+  }
+  if (!as->assigned().empty()) {
+    leak += "space still lists " + std::to_string(as->assigned().size()) +
+            " assigned processors; ";
+  }
+  for (const auto& kt : as->threads()) {
+    if (kt->state() != KThreadState::kDead) {
+      leak += "thread " + std::to_string(kt->id()) + " still " +
+              KThreadStateName(kt->state()) + "; ";
+    }
+  }
+  ProcessorAllocator* alloc = kernel_->allocator_.get();
+  if (alloc != nullptr) {
+    for (const AddressSpace* reg : alloc->spaces()) {
+      if (reg == as) {
+        leak += "allocator still tracks the space; ";
+      }
+    }
+  }
+  return leak;
+}
+
+}  // namespace sa::kern

@@ -1,0 +1,136 @@
+// Crash-tolerant address-space teardown (DESIGN.md §12).
+//
+// The paper assumes user-level schedulers are trusted but not correct: "the
+// kernel protects itself" from a runtime that crashes, wedges, or exits
+// without releasing what it was given.  This module is that protection: a
+// teardown state machine that quarantines a failed space, funnels its
+// processors back to the allocator through the normal revocation protocol,
+// reclaims every activation and kernel thread, discards undelivered upcalls
+// and in-flight I/O, and asserts machine-wide conservation when done.
+//
+// Three entry points mirror the three failure modes injected by
+// src/inject/fault_plan.h:
+//
+//   InjectCrash  — the runtime faulted (kernel-visible trap); teardown starts
+//                  immediately.
+//   InjectExit   — orderly exit that leaked resources; same path, different
+//                  cause for the post-mortem.
+//   InjectHang   — the runtime silently stops acknowledging upcalls.  The
+//                  kernel cannot observe this directly; a per-space watchdog
+//                  pings the space on an exponentially backed-off ack
+//                  deadline and declares it hung after kMaxPings misses.
+//                  A space whose last processor was revoked is exempt while
+//                  it has none (delayed notification is legal, Section 4.2).
+//
+// Lifecycle: kAlive → kTearingDown (BeginTeardown: threads reclaimed, upcalls
+// discarded, revocations issued) → kDead (last processor detached; the
+// allocator forgets the space and survivors rebalance to their fair share).
+
+#ifndef SA_KERN_SPACE_REAPER_H_
+#define SA_KERN_SPACE_REAPER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kern/address_space.h"
+#include "src/sim/time.h"
+
+namespace sa::kern {
+
+class Kernel;
+
+// Per-teardown post-mortem record (surfaced through rt::RunReport and the
+// EXPERIMENTS.md reclamation-latency table).
+struct TeardownRecord {
+  int as_id = 0;
+  TeardownCause cause = TeardownCause::kNone;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  int procs_returned = 0;
+  int threads_reclaimed = 0;
+  int upcalls_discarded = 0;
+  sim::Duration latency() const { return end - begin; }
+};
+
+struct ReaperStats {
+  int64_t spaces_reaped = 0;
+  int64_t crashes = 0;
+  int64_t hangs = 0;
+  int64_t exits = 0;
+  int64_t threads_reclaimed = 0;
+  int64_t upcalls_discarded = 0;
+  int64_t io_discarded = 0;
+  int64_t procs_returned = 0;
+  int64_t hang_pings = 0;
+};
+
+class SpaceReaper {
+ public:
+  // Ack-deadline watchdog: first deadline, doubled after each missed ping.
+  static constexpr sim::Duration kAckDeadlineBase = sim::Msec(10);
+  // Missed pings before a space is declared hung.  Worst-case detection
+  // latency is kAckDeadlineBase * (2^kMaxPings - 1) = 70ms after the last
+  // acknowledged upcall.
+  static constexpr int kMaxPings = 3;
+
+  explicit SpaceReaper(Kernel* kernel) : kernel_(kernel) {}
+  SpaceReaper(const SpaceReaper&) = delete;
+  SpaceReaper& operator=(const SpaceReaper&) = delete;
+
+  // Arms the watchdog machinery.  Off by default so runs without lifecycle
+  // faults schedule no watchdog events (zero-perturbation guarantee).
+  void EnableHangDetection() { hang_detection_ = true; }
+  bool hang_detection() const { return hang_detection_; }
+
+  // --- fault entry points (driven by the harness fault plan) ---
+  void InjectCrash(AddressSpace* as);
+  void InjectHang(AddressSpace* as);
+  void InjectExit(AddressSpace* as);
+
+  // --- watchdog hooks ---
+  // An upcall was dispatched to `as`; start (or continue) expecting an ack.
+  void WatchUpcall(AddressSpace* as);
+  // The runtime acknowledged delivered upcalls (it ran its handler).
+  void AckUpcalls(AddressSpace* as);
+
+  // --- teardown progress hooks (called from the kernel) ---
+  // A processor owned by a tearing-down space was detached.
+  void NoteProcessorDetached(AddressSpace* as);
+  // An I/O completion fired for a thread of a reaped space and was discarded.
+  void NoteIoDiscarded(const KThread* kt);
+
+  // Quarantines `as` and drives it to kDead.  Idempotent.
+  void BeginTeardown(AddressSpace* as, TeardownCause cause);
+
+  // Returns a description of every kernel reference still held on `as`
+  // (empty string = conservation holds).  Checked internally when teardown
+  // completes; exposed for tests.
+  std::string ConservationReport(const AddressSpace* as) const;
+
+  const ReaperStats& stats() const { return stats_; }
+  const std::vector<TeardownRecord>& teardowns() const { return teardowns_; }
+
+ private:
+  struct Watch {
+    bool waiting = false;   // an upcall is outstanding, ack expected
+    int pings = 0;          // consecutive missed deadlines
+    uint64_t epoch = 0;     // invalidates stale deadline events
+  };
+
+  void ArmDeadline(AddressSpace* as);
+  void OnDeadline(AddressSpace* as, uint64_t epoch);
+  void FinishTeardown(AddressSpace* as);
+
+  Kernel* kernel_;
+  bool hang_detection_ = false;
+  std::map<int, Watch> watches_;          // space id -> watchdog state
+  std::map<int, TeardownRecord> active_;  // space id -> in-flight teardown
+  ReaperStats stats_;
+  std::vector<TeardownRecord> teardowns_;
+};
+
+}  // namespace sa::kern
+
+#endif  // SA_KERN_SPACE_REAPER_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/kern/proc_alloc.h"
+#include "src/kern/space_reaper.h"
 #include "src/rt/topaz_runtime.h"
 #include "src/trace/invariants.h"
 
@@ -63,25 +64,63 @@ trace::TraceBuffer& Harness::EnableTracing(uint32_t categories, size_t capacity)
   return *trace_;
 }
 
+void Harness::AddChurn(int count, sim::Duration interval,
+                       std::function<std::unique_ptr<Runtime>(int)> factory) {
+  SA_CHECK(!started_);
+  SA_CHECK_MSG(churn_factory_ == nullptr, "churn already configured");
+  SA_CHECK(count > 0 && interval > 0);
+  churn_factory_ = std::move(factory);
+  churn_count_ = count;
+  churn_interval_ = interval;
+  churn_pending_ = count;
+}
+
+void Harness::SpawnChurn(int index) {
+  --churn_pending_;
+  std::unique_ptr<Runtime> rt = churn_factory_(index);
+  Runtime* raw = rt.get();
+  owned_.push_back(std::move(rt));
+  runtimes_.push_back(Entry{raw, /*background=*/false});
+  kern::AddressSpace* as = raw->address_space();
+  engine().TraceEmit(trace::cat::kLifecycle, trace::Kind::kLifeSpawn, -1,
+                     as != nullptr ? as->id() : -1, static_cast<uint64_t>(index));
+  raw->Start();
+}
+
 void Harness::Start() {
   SA_CHECK(!started_);
   started_ = true;
   for (Entry& e : runtimes_) {
     e.rt->Start();
   }
+  for (int i = 0; i < churn_count_; ++i) {
+    engine().ScheduleIn(churn_interval_ * (i + 1), [this, i] { SpawnChurn(i); });
+  }
 }
 
 bool Harness::AllDone() const {
+  if (churn_pending_ > 0) {
+    return false;
+  }
   for (const Entry& e : runtimes_) {
-    if (!e.background && !e.rt->AllDone()) {
-      return false;
+    if (e.background || e.rt->AllDone()) {
+      continue;
     }
+    kern::AddressSpace* as = e.rt->address_space();
+    if (as != nullptr && as->lifecycle() == kern::AsLifecycle::kDead) {
+      // Torn down: its threads will never finish, and that is fine.  A space
+      // still kTearingDown gates completion — the run must not end while the
+      // reaper's revocation interrupts are in flight, or conservation could
+      // not be asserted (and no post-mortem record would exist).
+      continue;
+    }
+    return false;
   }
   return true;
 }
 
 size_t Harness::ForegroundFinished() const {
-  size_t finished = 0;
+  size_t finished = static_cast<size_t>(kernel_.reaper()->stats().spaces_reaped);
   for (const Entry& e : runtimes_) {
     if (!e.background) {
       finished += e.rt->threads_finished();
@@ -99,6 +138,10 @@ sim::Time Harness::Run(uint64_t max_events) {
     SA_CHECK_MSG(result.outcome != RunOutcome::kStalled,
                  "simulation stalled (no foreground progress)");
     SA_CHECK_MSG(false, "event queue drained before workloads finished (deadlock?)");
+  }
+  if (!result.diagnostics.empty()) {
+    // Success with reaped spaces: surface the post-mortem.
+    std::fputs(result.diagnostics.c_str(), stderr);
   }
   return result.end_time;
 }
@@ -138,6 +181,10 @@ RunResult Harness::TryRun(uint64_t max_events) {
     std::snprintf(reason, sizeof(reason), "%s after %" PRIu64 " events",
                   RunOutcomeName(result.outcome), fired);
     result.diagnostics = DumpDiagnostics(reason);
+  } else if (kernel_.reaper()->stats().spaces_reaped > 0) {
+    // The run finished, but not every space survived: attach the same dump
+    // so teardown post-mortems are visible on success too.
+    result.diagnostics = DumpDiagnostics("completed with reaped spaces");
   }
   return result;
 }
@@ -168,6 +215,25 @@ std::string Harness::DumpDiagnostics(const std::string& reason) {
        static_cast<long long>(c.timeslices),
        static_cast<long long>(c.preempt_interrupts),
        static_cast<long long>(c.page_faults));
+  const kern::ReaperStats& rs = kernel_.reaper()->stats();
+  if (rs.spaces_reaped > 0) {
+    line("reaper: %lld spaces reaped (%lld crashed, %lld hung, %lld exited); "
+         "%lld threads, %lld upcalls, %lld io completions discarded; "
+         "%lld processors returned, %lld hang pings\n",
+         static_cast<long long>(rs.spaces_reaped), static_cast<long long>(rs.crashes),
+         static_cast<long long>(rs.hangs), static_cast<long long>(rs.exits),
+         static_cast<long long>(rs.threads_reclaimed),
+         static_cast<long long>(rs.upcalls_discarded),
+         static_cast<long long>(rs.io_discarded),
+         static_cast<long long>(rs.procs_returned),
+         static_cast<long long>(rs.hang_pings));
+    for (const kern::TeardownRecord& td : kernel_.reaper()->teardowns()) {
+      line("  space %d (%s): reclaimed in %s — %d procs, %d threads, %d upcalls\n",
+           td.as_id, kern::TeardownCauseName(td.cause),
+           sim::FormatDuration(td.latency()).c_str(), td.procs_returned,
+           td.threads_reclaimed, td.upcalls_discarded);
+    }
+  }
   if (injector_ != nullptr) {
     const inject::InjectStats& s = injector_->stats();
     line("injector: plan \"%s\"\n", injector_->plan().ToSpec().c_str());
@@ -217,7 +283,62 @@ inject::FaultInjector& Harness::EnableFaultInjection(const inject::FaultPlan& pl
   if (plan.storm_period > 0) {
     ScheduleStormTick();
   }
+  if (plan.hang_at > 0) {
+    // Watchdog events exist only on runs that inject a hang — without this
+    // the deadline machinery schedules nothing (zero-perturbation).
+    kernel_.reaper()->EnableHangDetection();
+  }
+  if (plan.crash_at > 0) {
+    ScheduleLifecycleFault(plan.crash_at, plan.crash_space, kern::TeardownCause::kCrashed);
+  }
+  if (plan.hang_at > 0) {
+    ScheduleLifecycleFault(plan.hang_at, plan.hang_space, kern::TeardownCause::kHung);
+  }
+  if (plan.exit_at > 0) {
+    ScheduleLifecycleFault(plan.exit_at, plan.exit_space, kern::TeardownCause::kExited);
+  }
   return *injector_;
+}
+
+kern::AddressSpace* Harness::ForegroundSpace(int index) {
+  int i = 0;
+  for (Entry& e : runtimes_) {
+    if (e.background) {
+      continue;
+    }
+    kern::AddressSpace* as = e.rt->address_space();
+    if (as == nullptr) {
+      continue;
+    }
+    if (i == index) {
+      return as;
+    }
+    ++i;
+  }
+  return nullptr;
+}
+
+void Harness::ScheduleLifecycleFault(sim::Duration at, int space_index,
+                                     kern::TeardownCause cause) {
+  engine().ScheduleIn(at, [this, space_index, cause] {
+    kern::AddressSpace* as = ForegroundSpace(space_index);
+    if (as == nullptr || as->reaped() || as->hung()) {
+      return;  // target never existed, or already failing: nothing to inject
+    }
+    switch (cause) {
+      case kern::TeardownCause::kCrashed:
+        kernel_.reaper()->InjectCrash(as);
+        break;
+      case kern::TeardownCause::kHung:
+        kernel_.reaper()->InjectHang(as);
+        break;
+      case kern::TeardownCause::kExited:
+        kernel_.reaper()->InjectExit(as);
+        break;
+      case kern::TeardownCause::kNone:
+        break;
+    }
+  });
 }
 
 void Harness::ScheduleStormTick() {

@@ -5,6 +5,7 @@
 #ifndef SA_RT_HARNESS_H_
 #define SA_RT_HARNESS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,7 +39,8 @@ struct RunResult {
   sim::Time end_time = 0;
   // Human-readable failure context (engine state, per-runtime progress,
   // kernel counters, injector stats, invariant report, trace tail).  Empty
-  // on success.
+  // on success — unless the run completed with reaped address spaces, in
+  // which case the post-mortem dump is attached here too.
   std::string diagnostics;
 
   bool ok() const { return outcome == RunOutcome::kCompleted; }
@@ -64,6 +66,15 @@ class Harness {
   // `period`, computes for `busy`, repeats — the paper's "daemon threads
   // which wake up periodically, execute briefly, and go back to sleep".
   Runtime* AddDaemon(const std::string& name, sim::Duration period, sim::Duration busy);
+
+  // Dynamic space churn (DESIGN.md §12): schedules `count` extra foreground
+  // runtimes to be created and started mid-run, `interval` apart (the first
+  // at `interval` after Start).  `factory(i)` builds the i-th runtime when
+  // its spawn time arrives, so the address space itself is created mid-run
+  // and the allocator rebalances under arrival.  The harness owns the
+  // spawned runtimes.  Call before Start(); at most once.
+  void AddChurn(int count, sim::Duration interval,
+                std::function<std::unique_ptr<Runtime>(int)> factory);
 
   // Starts every registered runtime.
   void Start();
@@ -114,9 +125,19 @@ class Harness {
     Runtime* rt;
     bool background;
   };
-  // Sum of finished threads across foreground runtimes (watchdog progress).
+  // Sum of finished threads across foreground runtimes, plus completed
+  // teardowns (watchdog progress: a reap is forward progress too).
   size_t ForegroundFinished() const;
   void ScheduleStormTick();
+  void SpawnChurn(int index);
+  // The `index`-th foreground runtime's address space, in arrival order
+  // (churn-spawned spaces included once they exist); null if out of range.
+  kern::AddressSpace* ForegroundSpace(int index);
+  // Schedules a lifecycle fault from the plan: at virtual time `at`, the
+  // `space_index`-th foreground space (resolved at fire time) fails with
+  // `cause`.  Already-reaped or missing targets are skipped.
+  void ScheduleLifecycleFault(sim::Duration at, int space_index,
+                              kern::TeardownCause cause);
 
   std::vector<Entry> runtimes_;
   std::vector<std::unique_ptr<Runtime>> owned_;
@@ -124,6 +145,10 @@ class Harness {
   std::unique_ptr<inject::FaultInjector> injector_;
   sim::Duration stall_timeout_ = 0;
   bool started_ = false;
+  std::function<std::unique_ptr<Runtime>(int)> churn_factory_;
+  int churn_count_ = 0;
+  sim::Duration churn_interval_ = 0;
+  int churn_pending_ = 0;  // spawns not yet fired (gates AllDone)
 };
 
 }  // namespace sa::rt

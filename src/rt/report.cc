@@ -38,6 +38,8 @@ RunReport MakeReport(Harness& harness) {
     report.inject_active = true;
     report.inject = harness.injector()->stats();
   }
+  report.reaper = harness.kernel().reaper()->stats();
+  report.teardowns = harness.kernel().reaper()->teardowns();
   return report;
 }
 
@@ -94,6 +96,26 @@ std::string RunReport::ToString() const {
                   static_cast<long long>(inject.storm_revocations),
                   static_cast<long long>(inject.degraded_transitions));
     out += buf;
+  }
+  if (reaper.spaces_reaped > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "spaces reaped: %lld (%lld crashed, %lld hung, %lld exited); "
+                  "%lld threads and %lld upcalls reclaimed, "
+                  "%lld processors returned\n",
+                  static_cast<long long>(reaper.spaces_reaped),
+                  static_cast<long long>(reaper.crashes),
+                  static_cast<long long>(reaper.hangs),
+                  static_cast<long long>(reaper.exits),
+                  static_cast<long long>(reaper.threads_reclaimed),
+                  static_cast<long long>(reaper.upcalls_discarded),
+                  static_cast<long long>(reaper.procs_returned));
+    out += buf;
+    for (const kern::TeardownRecord& td : teardowns) {
+      std::snprintf(buf, sizeof(buf), "  space %d (%s): reclaimed in %s\n",
+                    td.as_id, kern::TeardownCauseName(td.cause),
+                    sim::FormatDuration(td.latency()).c_str());
+      out += buf;
+    }
   }
   return out;
 }

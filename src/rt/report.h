@@ -6,7 +6,9 @@
 #define SA_RT_REPORT_H_
 
 #include <string>
+#include <vector>
 
+#include "src/kern/space_reaper.h"
 #include "src/rt/harness.h"
 #include "src/trace/histogram.h"
 
@@ -29,6 +31,10 @@ struct RunReport {
   // with fault injection enabled.
   bool inject_active = false;
   inject::InjectStats inject;
+  // Address-space teardown totals and per-space post-mortems (DESIGN.md
+  // §12); empty unless lifecycle faults fired.
+  kern::ReaperStats reaper;
+  std::vector<kern::TeardownRecord> teardowns;
 
   // Fraction of machine time spent running application code.
   double UserUtilization() const;

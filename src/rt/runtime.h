@@ -9,6 +9,10 @@
 
 #include "src/rt/workload.h"
 
+namespace sa::kern {
+class AddressSpace;
+}  // namespace sa::kern
+
 namespace sa::rt {
 
 // One workload thread: coroutine + trap cell + join bookkeeping.  Runtimes
@@ -105,6 +109,11 @@ class Runtime {
   // Appends one line per unfinished thread to `out` (harness failure
   // diagnostics).  Default: nothing to describe.
   virtual void DescribeThreads(std::string* out) const { (void)out; }
+
+  // The kernel address space hosting this runtime, when it has exactly one
+  // (the harness uses it to target lifecycle faults and to drop reaped
+  // spaces from run completion).  Null for runtimes without a space.
+  virtual kern::AddressSpace* address_space() { return nullptr; }
 };
 
 }  // namespace sa::rt

@@ -40,7 +40,7 @@ class TopazRuntime : public Runtime, private kern::KThreadHost {
     table_.DescribeUnfinished(out);
   }
 
-  kern::AddressSpace* address_space() { return as_; }
+  kern::AddressSpace* address_space() override { return as_; }
 
  private:
   struct TzLock {

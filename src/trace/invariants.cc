@@ -14,7 +14,17 @@ struct VesselState {
   bool candidate_exempt = false;
   int fault_depth = 0;     // nested §3.1 upcall-fault windows
   int64_t fault_ts = -1;   // last ts a fault record touched
+  bool quarantined = false;  // teardown began; vessel checks suspended
 };
+
+// Address-space lifecycle records (DESIGN.md §12) live in their own kind
+// range; anything else attributed to a space after its teardown completed is
+// a conservation violation (a kernel reference outlived the reap).
+bool IsLifecycleKind(Kind kind) {
+  const uint16_t k = static_cast<uint16_t>(kind);
+  return k >= static_cast<uint16_t>(Kind::kLifeSpawn) &&
+         k <= static_cast<uint16_t>(Kind::kLifeSpawn) + 15;
+}
 
 // Per-(space, vcpu) idle interval.
 struct IdleState {
@@ -79,6 +89,7 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
   CheckResult out;
   std::map<int32_t, VesselState> vessel;
   std::map<int32_t, SpaceUltState> ult;
+  std::map<int32_t, int64_t> dead;  // as_id -> teardown-done ts
 
   auto idle_overlap_start = [](const SpaceUltState& s, const IdleState& v) {
     return v.since > s.runnable_since ? v.since : s.runnable_since;
@@ -86,9 +97,36 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
 
   for (const Record& r : records) {
     const Kind kind = static_cast<Kind>(r.kind);
+    {
+      auto it = dead.find(r.as_id);
+      if (it != dead.end() && !IsLifecycleKind(kind)) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "dead-space activity: as %d emitted %s at t=%" PRId64
+                      " after its teardown completed at t=%" PRId64,
+                      r.as_id, KindName(kind), r.ts, it->second);
+        out.violations.push_back(buf);
+      }
+    }
     switch (kind) {
+      case Kind::kLifeQuarantine: {
+        // Teardown interleaves with every protocol the vessel and idle
+        // checks assume; suspend both for this space from here on.
+        VesselState& vs = vessel[r.as_id];
+        vs.has_candidate = false;
+        vs.quarantined = true;
+        ult.erase(r.as_id);
+        break;
+      }
+      case Kind::kLifeTeardownDone: {
+        dead[r.as_id] = r.ts;
+        break;
+      }
       case Kind::kVessel: {
         VesselState& vs = vessel[r.as_id];
+        if (vs.quarantined) {
+          break;
+        }
         if (vs.has_candidate && r.ts > vs.candidate.ts) {
           FinalizeVessel(r.as_id, &vs, &out);
         }

@@ -53,6 +53,15 @@ const char* KindName(Kind kind) {
     case Kind::kInjectUpcallDelay: return "inject-upcall-delay";
     case Kind::kInjectAllocDeny: return "inject-alloc-deny";
     case Kind::kInjectStorm: return "inject-storm";
+    case Kind::kLifeSpawn: return "life-spawn";
+    case Kind::kLifeCrash: return "life-crash";
+    case Kind::kLifeHang: return "life-hang";
+    case Kind::kLifeExit: return "life-exit";
+    case Kind::kLifeQuarantine: return "life-quarantine";
+    case Kind::kLifeHangPing: return "life-hang-ping";
+    case Kind::kLifeReclaim: return "life-reclaim";
+    case Kind::kLifeIoDiscard: return "life-io-discard";
+    case Kind::kLifeTeardownDone: return "life-teardown-done";
   }
   return "?";
 }

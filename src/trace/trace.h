@@ -38,6 +38,7 @@ inline constexpr uint32_t kUpcall = 1u << 3;     // SA upcalls/downcalls
 inline constexpr uint32_t kUlt = 1u << 4;        // FastThreads package
 inline constexpr uint32_t kFibers = 1u << 5;     // native fiber pool (host clock)
 inline constexpr uint32_t kInject = 1u << 6;     // fault-injection layer
+inline constexpr uint32_t kLifecycle = 1u << 7;  // address-space teardown/reap
 inline constexpr uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -101,6 +102,21 @@ enum class Kind : uint16_t {
   kInjectUpcallDelay = 99,   // delivery deferred; arg0 = delay ns
   kInjectAllocDeny = 100,    // activation alloc denied; arg0 = retry ns
   kInjectStorm = 101,        // arg0 = revocations issued this burst
+
+  // cat::kLifecycle — address-space lifecycle (kern/space_reaper.h).
+  // as_id is the dying space throughout.
+  kLifeSpawn = 112,         // space arrived mid-run (harness churn driver)
+  kLifeCrash = 113,         // injected runtime crash detected
+  kLifeHang = 114,          // watchdog declared the space hung (arg0 = pings)
+  kLifeExit = 115,          // orderly exit with leaked resources
+  kLifeQuarantine = 116,    // teardown began; arg0 = cause (TeardownCause)
+  kLifeHangPing = 117,      // unacked watchdog deadline; arg0 = ping number,
+                            // arg1 = next deadline ns (doubled per ping)
+  kLifeReclaim = 118,       // arg0 = threads reclaimed, arg1 = upcalls discarded
+  kLifeIoDiscard = 119,     // in-flight I/O for a dead space became inert;
+                            // arg0 = thread id
+  kLifeTeardownDone = 120,  // space fully dead; arg0 = processors returned,
+                            // arg1 = teardown latency ns
 };
 
 const char* KindName(Kind kind);

@@ -90,7 +90,29 @@ Tcb* FastThreads::SpawnThread(rt::WorkThread* w) {
   return t;
 }
 
+void FastThreads::Halt() {
+  halted_ = true;
+}
+
+void FastThreads::ParkHalted(Vcpu* v) {
+  if (v == nullptr || !v->bound || v->kt == nullptr) {
+    return;
+  }
+  hw::Processor* proc = v->proc();
+  kern::KThread* running = kernel_->running_on(proc);
+  if (running != nullptr && running->address_space() == as_) {
+    kernel_->ClearRunning(proc);
+  }
+  if (!proc->has_span()) {
+    kernel_->DispatchOn(proc);
+  }
+}
+
 void FastThreads::ChargeMgmt(Vcpu* v, sim::Duration d, std::function<void()> fn) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   SA_CHECK(v->bound);
   // Internal critical sections are modelled as non-preemptible management
   // spans (see header comment); interrupts latch and fire at the next
@@ -185,6 +207,10 @@ Tcb* FastThreads::Steal(Vcpu* v) {
 }
 
 void FastThreads::RunVcpu(Vcpu* v) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   if (v->current != nullptr) {
     Tcb* t = v->current;
     if (v->kt->saved_span().valid()) {
@@ -210,6 +236,10 @@ void FastThreads::RunVcpu(Vcpu* v) {
 }
 
 void FastThreads::Dispatch(Vcpu* v) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   SA_CHECK_MSG(v->bound, "dispatch on an unbound virtual processor");
   SA_CHECK(v->current == nullptr);
   if (has_priorities_) {
@@ -322,6 +352,10 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
 }
 
 void FastThreads::ContinueThread(Vcpu* v, Tcb* t) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   SA_CHECK(v->current == nullptr);
   SA_CHECK(v->bound);
   t->vcpu = v;
@@ -344,6 +378,9 @@ void FastThreads::ContinueThread(Vcpu* v, Tcb* t) {
 }
 
 void FastThreads::EnqueueReady(Vcpu* from, Tcb* t, bool front) {
+  if (halted_) {
+    return;  // dropped: the space is being torn down
+  }
   SA_CHECK(t->state != Tcb::State::kReady && t->state != Tcb::State::kRunning);
   t->state = Tcb::State::kReady;
   t->vcpu = nullptr;
@@ -403,6 +440,10 @@ void FastThreads::BeginIdleTransition(Vcpu* v) {
 }
 
 void FastThreads::EndIdleTransition(Vcpu* v) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   if (!v->idle_transition) {
     return;  // slot was unbound or rebound while the downcall was in flight
   }
@@ -420,6 +461,10 @@ void FastThreads::NoteUnbound(Vcpu* v, int processor_id) {
 }
 
 void FastThreads::StepAndInterpret(Tcb* t) {
+  if (halted_) {
+    ParkHalted(t->vcpu);
+    return;
+  }
   if (t->cs_recovery && t->cs_depth == 0) {
     FinishRecovery(t);
     return;
@@ -429,6 +474,10 @@ void FastThreads::StepAndInterpret(Tcb* t) {
 }
 
 void FastThreads::ResumeAfterKernel(Vcpu* v, Tcb* t) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   SA_CHECK(t->state == Tcb::State::kBlockedKernel);
   t->state = Tcb::State::kRunning;
   ++runnable_;
@@ -440,6 +489,10 @@ void FastThreads::ResumeAfterKernel(Vcpu* v, Tcb* t) {
 // ---------------------------------------------------------------------------
 
 void FastThreads::Interpret(Tcb* t) {
+  if (halted_) {
+    ParkHalted(t->vcpu);
+    return;
+  }
   Vcpu* v = t->vcpu;
   SA_CHECK(v != nullptr);
   const rt::Op& op = t->work->ctx.op;
@@ -585,6 +638,10 @@ void FastThreads::DoAcquire(Tcb* t) {
 }
 
 void FastThreads::TrySpinAcquire(Vcpu* v, Tcb* t) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   UltLock* lock = t->waiting_lock;
   SA_CHECK(lock != nullptr);
   if (lock->owner == nullptr) {
@@ -609,6 +666,9 @@ void FastThreads::TrySpinAcquire(Vcpu* v, Tcb* t) {
 }
 
 void FastThreads::GrantSpinLock(UltLock* lock) {
+  if (halted_) {
+    return;
+  }
   if (lock->owner != nullptr) {
     return;
   }
@@ -752,6 +812,10 @@ void FastThreads::DoDone(Tcb* t) {
 // ---------------------------------------------------------------------------
 
 void FastThreads::RecoverOrReady(Vcpu* v, Tcb* t, std::function<void(Vcpu*)> after) {
+  if (halted_) {
+    ParkHalted(v);
+    return;
+  }
   if (t->cs_depth > 0) {
     // The stopped thread holds a spinlock: continue it via a user-level
     // context switch until it exits the critical section (deadlock freedom;

@@ -127,6 +127,13 @@ class FastThreads {
   // processors.
   void NoteUnbound(Vcpu* v, int processor_id);
 
+  // Teardown (space reaped): freeze the thread system.  Every execution
+  // entry point becomes a no-op that hands its processor back to the kernel
+  // (ParkHalted), so in-flight span continuations drain without touching
+  // user state and the reaper can reclaim every processor.
+  void Halt();
+  bool halted() const { return halted_; }
+
   // Critical-section recovery (Section 3.3): `t` arrived from the kernel
   // stopped while holding a spinlock.  Continue it on `v` until it exits the
   // critical section, then run `after` with the vcpu on which processing
@@ -173,6 +180,11 @@ class FastThreads {
   Tcb* PopLocal(Vcpu* v);
   Tcb* Steal(Vcpu* v);
 
+  // Post-halt processor handback: detach the dead space's context from v's
+  // processor and give the kernel a dispatch point, where it either consumes
+  // a latched revocation or hits the reaped-owner catch-all.
+  void ParkHalted(Vcpu* v);
+
   // Tracing (cat::kUlt).  TraceOn() gates sites whose arguments (queued
   // ready count) cost something to compute.
   bool TraceOn() const;
@@ -196,6 +208,7 @@ class FastThreads {
   int runnable_ = 0;
   int next_tcb_id_ = 0;
   bool has_priorities_ = false;
+  bool halted_ = false;
 };
 
 }  // namespace sa::ult

@@ -30,7 +30,18 @@ void KtBackend::Start() {
 void KtBackend::RunOn(kern::KThread* kt) {
   Vcpu* v = VcpuOf(kt);
   v->idle_spinning = false;  // being (re)dispatched always re-enters the loop
-  ft_->RunVcpu(v);
+  ft_->RunVcpu(v);  // halted: hands the processor straight back (ParkHalted)
+}
+
+void KtBackend::OnSpaceReaped() {
+  // Freeze the thread system; pending kernel-event state dies with the
+  // space.  The vcpus' kernel threads were already marked dead by the
+  // reaper, so the kernel never dispatches them again.
+  ft_->Halt();
+  for (auto& ev : events_) {
+    ev->pending = 0;
+    ev->waiters.clear();
+  }
 }
 
 void KtBackend::OnPreempted(kern::KThread* kt, hw::Interrupt irq) {

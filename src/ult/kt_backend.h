@@ -53,6 +53,7 @@ class KtBackend : public VcpuBackend, public kern::KThreadHost {
   void RunOn(kern::KThread* kt) override;
   void OnPreempted(kern::KThread* kt, hw::Interrupt irq) override;
   void OnUnblocked(kern::KThread* kt) override;
+  void OnSpaceReaped() override;
 
  private:
   Vcpu* VcpuOf(kern::KThread* kt) { return static_cast<Vcpu*>(kt->host_data()); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/kern/space_reaper.h"
 #include "src/ult/fast_threads.h"
 
 namespace sa::ult {
@@ -112,8 +113,40 @@ void SaBackend::UnbindIdleSlotByProcessor(int processor_id) {
 // Activation host.
 // ---------------------------------------------------------------------------
 
+void SaBackend::ParkReaped(kern::KThread* kt) {
+  hw::Processor* proc = kt->processor();
+  if (kernel_->running_on(proc) != nullptr &&
+      kernel_->running_on(proc)->address_space() == as_) {
+    kernel_->ClearRunning(proc);
+  }
+  if (!proc->has_span()) {
+    kernel_->DispatchOn(proc);
+  }
+}
+
+void SaBackend::OnSpaceReaped() {
+  // Freeze the thread system and drop user-level state that would otherwise
+  // keep feeding work into the dead space.  Slot bindings are deliberately
+  // kept: in-flight continuations still derive their processor from v->kt,
+  // and the kernel owns every KThread for the lifetime of the run.
+  ft_->Halt();
+  inbox_.clear();
+  discards_.clear();
+  for (auto& ev : events_) {
+    ev->pending = 0;
+    ev->waiters.clear();
+  }
+  for (int i = 0; i < ft_->num_vcpus(); ++i) {
+    ft_->vcpu(i)->hysteresis.Cancel();
+  }
+}
+
 void SaBackend::RunOn(kern::KThread* kt) {
   SA_CHECK(kt->is_activation());
+  if (as_->reaped()) {
+    ParkReaped(kt);
+    return;
+  }
   core::Activation* act = kt->activation();
   if (!act->inbox().empty()) {
     std::vector<core::UpcallEvent> events = std::move(act->inbox());
@@ -129,6 +162,16 @@ void SaBackend::RunOn(kern::KThread* kt) {
 
 void SaBackend::HandleUpcall(kern::KThread* upcall_activation,
                              std::vector<core::UpcallEvent> events) {
+  if (as_->hung()) {
+    // Injected hang (DESIGN.md §12): the user-level scheduler is wedged.  It
+    // absorbs the upcall without processing or acknowledging it and spins,
+    // holding the processor, until the kernel's deadline watchdog gives up
+    // and tears the space down.
+    BindSlot(upcall_activation);
+    upcall_activation->processor()->BeginOpenSpan(hw::SpanMode::kIdleSpin);
+    return;
+  }
+  kernel_->reaper()->AckUpcalls(as_);
   for (auto& ev : events) {
     inbox_.push_back(std::move(ev));
   }
@@ -142,6 +185,10 @@ void SaBackend::HandleUpcall(kern::KThread* upcall_activation,
 }
 
 void SaBackend::Drain(kern::KThread* kt, Vcpu* v) {
+  if (as_->reaped()) {
+    ParkReaped(kt);
+    return;
+  }
   if (inbox_.empty()) {
     FinishDrain(kt, v);
     return;
@@ -153,9 +200,11 @@ void SaBackend::Drain(kern::KThread* kt, Vcpu* v) {
     case core::UpcallEvent::Kind::kAddProcessor: {
       // "Add this processor": the slot is already bound.  If parallelism
       // grew while this grant was in flight, renew the hint right away (the
-      // downcalls are serialized, Section 3.2).
+      // downcalls are serialized, Section 3.2).  A reap elsewhere can flood
+      // the free pool and leave this space holding more processors than it
+      // currently wants, so only renew while the bound count still trails.
       const int want = std::min(ft_->runnable(), ft_->num_vcpus());
-      if (want > space_->user_desired()) {
+      if (want > BoundCount() && want > space_->user_desired()) {
         space_->DowncallAddProcessors(kt, want - BoundCount(),
                                       [this, kt, v] { Drain(kt, v); });
         return;

@@ -61,6 +61,7 @@ class SaBackend : public VcpuBackend, public kern::KThreadHost, public core::Upc
   // kern::KThreadHost (activation contexts):
   void RunOn(kern::KThread* kt) override;
   void OnPreempted(kern::KThread* kt, hw::Interrupt irq) override;
+  void OnSpaceReaped() override;
 
   // core::UpcallHandler:
   void HandleUpcall(kern::KThread* upcall_activation,
@@ -89,6 +90,9 @@ class SaBackend : public VcpuBackend, public kern::KThreadHost, public core::Upc
   void Drain(kern::KThread* kt, Vcpu* v);
   void FinishDrain(kern::KThread* kt, Vcpu* v);
   void NoteDiscard(int64_t activation_id);
+  // Post-teardown processor handback for continuations that fire after the
+  // space was reaped: detach `kt` and give the kernel a dispatch point.
+  void ParkReaped(kern::KThread* kt);
 
   kern::Kernel* kernel_;
   kern::AddressSpace* as_;

@@ -41,7 +41,7 @@ class UltRuntime : public rt::Runtime {
   }
 
   FastThreads& fast_threads() { return *ft_; }
-  kern::AddressSpace* address_space() { return as_; }
+  kern::AddressSpace* address_space() override { return as_; }
   BackendKind backend_kind() const { return backend_kind_; }
   // Non-null only on the scheduler-activation backend.
   SaBackend* sa_backend() { return sa_backend_.get(); }

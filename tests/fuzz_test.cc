@@ -225,5 +225,94 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Range<uint64_t>(1, 9)),
     FuzzName);
 
+// ---------------------------------------------------------------------------
+// Churn sweep: random programs across dynamically arriving spaces, under
+// plans that also crash/hang/exit whole address spaces mid-run
+// (DESIGN.md §12).  Reaped spaces are expected casualties — their threads
+// never finish — but the run itself must complete, survivors must finish
+// every thread, and the trace replay must show no dead-space activity.
+// Failures shrink to a minimal replayable plan like the plain sweep.
+// ---------------------------------------------------------------------------
+
+SweepOutcome RunChurnPlan(uint64_t seed, const inject::FaultPlan& plan) {
+  rt::HarnessConfig config;
+  config.processors = 3;
+  config.seed = seed;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  rt::Harness h(config);
+  h.EnableFaultInjection(plan);
+  h.set_stall_timeout(sim::Msec(30000) + 100 * plan.ExtraIdleSlack());
+  h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt | trace::cat::kLifecycle);
+
+  ult::UltConfig uc;
+  uc.max_vcpus = 3;
+  auto rt = std::make_unique<ult::UltRuntime>(
+      &h.kernel(), "churn0", ult::BackendKind::kSchedulerActivations, uc);
+  h.AddRuntime(rt.get());
+  h.AddDaemon("daemon", sim::Msec(3), sim::Usec(300));
+  apps::SpawnRandomProgram(rt.get(), /*threads=*/6, /*ops=*/25, seed * 977 + 13);
+
+  kern::Kernel* kernel = &h.kernel();
+  h.AddChurn(2, sim::Msec(4), [kernel, seed](int i) -> std::unique_ptr<rt::Runtime> {
+    ult::UltConfig cc;
+    cc.max_vcpus = 3;
+    auto u = std::make_unique<ult::UltRuntime>(
+        kernel, "churn" + std::to_string(i + 1),
+        ult::BackendKind::kSchedulerActivations, cc);
+    apps::SpawnRandomProgram(u.get(), /*threads=*/4, /*ops=*/20,
+                             seed * 1303 + static_cast<uint64_t>(i) * 59 + 29);
+    return u;
+  });
+
+  SweepOutcome outcome;
+  const rt::RunResult result = h.TryRun();
+  if (!result.ok()) {
+    outcome.ok = false;
+    outcome.detail = result.diagnostics;
+    return outcome;
+  }
+  if (rt->address_space() != nullptr && !rt->address_space()->reaped() &&
+      rt->threads_finished() != rt->threads_created()) {
+    outcome.ok = false;
+    outcome.detail = "threads lost in a surviving space";
+    return outcome;
+  }
+#if SA_TRACE_ENABLED
+  trace::CheckOptions opts;
+  opts.idle_ready_threshold += plan.ExtraIdleSlack();
+  const trace::CheckResult check =
+      trace::CheckInvariants(h.trace()->Snapshot(), opts);
+  if (!check.ok()) {
+    outcome.ok = false;
+    outcome.detail = check.Summary();
+  }
+#endif
+  return outcome;
+}
+
+class ChurnFaultSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnFaultSweep, SurvivesLifecycleFaultPlan) {
+  const uint64_t seed = GetParam();
+  inject::FaultPlan plan = inject::FaultPlan::RandomChurn(seed * 53 + 11, /*spaces=*/3);
+  plan.io_retries = std::max(plan.io_retries, 6);  // transient failures only
+
+  const SweepOutcome outcome = RunChurnPlan(seed, plan);
+  if (outcome.ok) {
+    return;
+  }
+  const inject::ShrinkResult shrunk = inject::ShrinkPlan(
+      plan, [&](const inject::FaultPlan& p) { return !RunChurnPlan(seed, p).ok; });
+  const inject::FaultPlan& culprit = shrunk.failing ? shrunk.plan : plan;
+  ADD_FAILURE() << "churn sweep failed; minimized reproducer (machine seed "
+                << seed << "):\n  --fault-plan=" << culprit.ToSpec() << "\n"
+                << outcome.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChurnFaultSweep, ::testing::Range<uint64_t>(1, 9),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace sa

@@ -1,0 +1,310 @@
+// Address-space lifecycle under injected runtime failures (DESIGN.md §12).
+//
+// Spaces crash, hang, or exit mid-run; the kernel must quarantine the dead
+// space, reclaim every activation, kernel thread, and processor it held
+// (machine-wide conservation), and rebalance survivors to their new fair
+// share — while a run with no lifecycle faults stays byte-identical to one
+// without the reaper machinery armed at all (zero perturbation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/synthetic.h"
+#include "src/inject/fault_plan.h"
+#include "src/kern/space_reaper.h"
+#include "src/rt/harness.h"
+#include "src/trace/invariants.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa {
+namespace {
+
+// A long-running scheduler-activation space: `threads` workers looping
+// compute + blocking I/O for roughly iters * 60us of virtual time each —
+// alive well past every fault time used below, so the teardown always hits
+// a space with running, ready, and I/O-blocked threads at once.
+std::unique_ptr<ult::UltRuntime> MakeSpace(rt::Harness& h, const std::string& name,
+                                           int threads = 4, int iters = 400) {
+  ult::UltConfig uc;
+  uc.max_vcpus = 3;
+  auto rt = std::make_unique<ult::UltRuntime>(
+      &h.kernel(), name, ult::BackendKind::kSchedulerActivations, uc);
+  for (int i = 0; i < threads; ++i) {
+    rt->Spawn(
+        [iters](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < iters; ++k) {
+            co_await t.Compute(sim::Usec(50));
+            if (k % 7 == 3) {
+              co_await t.Io(sim::Usec(80));
+            }
+          }
+        },
+        name + "-w" + std::to_string(i));
+  }
+  return rt;
+}
+
+rt::HarnessConfig SaConfig(int processors, uint64_t seed = 1) {
+  rt::HarnessConfig config;
+  config.processors = processors;
+  config.seed = seed;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  return config;
+}
+
+#if SA_TRACE_ENABLED
+std::vector<trace::Record> LifecycleRecords(const std::vector<trace::Record>& all,
+                                            trace::Kind kind, int as_id) {
+  std::vector<trace::Record> out;
+  for (const trace::Record& r : all) {
+    if (static_cast<trace::Kind>(r.kind) == kind && r.as_id == as_id) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+#endif
+
+// An injected crash quarantines the space and reclaims everything it held:
+// threads, activations, processors, queued upcalls.  ConservationReport —
+// the same audit the reaper SA_CHECKs internally — must come back clean,
+// and the surviving space must be untouched.
+TEST(SpaceLifecycle, CrashReclaimsEverything) {
+  rt::Harness h(SaConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kAll);
+
+  inject::FaultPlan plan;
+  plan.crash_at = sim::Msec(3);
+  plan.crash_space = 0;
+  h.EnableFaultInjection(plan);
+
+  auto victim = MakeSpace(h, "victim");
+  auto survivor = MakeSpace(h, "survivor");
+  h.AddRuntime(victim.get());
+  h.AddRuntime(survivor.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  kern::AddressSpace* as = victim->address_space();
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(as->teardown_cause(), kern::TeardownCause::kCrashed);
+  EXPECT_TRUE(as->assigned().empty());
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(as), "");
+
+  const kern::ReaperStats& stats = h.kernel().reaper()->stats();
+  EXPECT_EQ(stats.spaces_reaped, 1);
+  EXPECT_EQ(stats.crashes, 1);
+  EXPECT_GT(stats.threads_reclaimed, 0);
+  EXPECT_GE(stats.procs_returned, 1);
+
+  ASSERT_EQ(h.kernel().reaper()->teardowns().size(), 1u);
+  const kern::TeardownRecord& td = h.kernel().reaper()->teardowns()[0];
+  EXPECT_EQ(td.as_id, as->id());
+  EXPECT_EQ(td.cause, kern::TeardownCause::kCrashed);
+  EXPECT_EQ(td.threads_reclaimed, static_cast<int>(stats.threads_reclaimed));
+
+  // The survivor rode out its neighbour's death untouched.
+  EXPECT_EQ(survivor->threads_finished(), survivor->threads_created());
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  EXPECT_EQ(LifecycleRecords(records, trace::Kind::kLifeCrash, as->id()).size(), 1u);
+  EXPECT_EQ(LifecycleRecords(records, trace::Kind::kLifeQuarantine, as->id()).size(), 1u);
+  const auto done = LifecycleRecords(records, trace::Kind::kLifeTeardownDone, as->id());
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(static_cast<int>(done[0].arg0), td.procs_returned);
+  // Replay check: no record may be attributed to the space after its
+  // teardown completed, and the survivor's protocol invariants still hold.
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+// A hung runtime is invisible to the kernel until the upcall-ack watchdog
+// misses deadlines.  The deadline backs off exponentially (10, 20, 40ms),
+// so the ping records' spacing must double, and the space is declared hung
+// after exactly kMaxPings misses.
+TEST(SpaceLifecycle, HangDetectionBacksOffExponentially) {
+  rt::Harness h(SaConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kLifecycle);
+
+  inject::FaultPlan plan;
+  plan.hang_at = sim::Msec(2);
+  plan.hang_space = 0;
+  h.EnableFaultInjection(plan);
+
+  auto victim = MakeSpace(h, "wedged");
+  auto survivor = MakeSpace(h, "survivor");
+  h.AddRuntime(victim.get());
+  h.AddRuntime(survivor.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  kern::AddressSpace* as = victim->address_space();
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(as->teardown_cause(), kern::TeardownCause::kHung);
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(as), "");
+
+  const kern::ReaperStats& stats = h.kernel().reaper()->stats();
+  EXPECT_EQ(stats.hangs, 1);
+  EXPECT_EQ(stats.hang_pings, kern::SpaceReaper::kMaxPings);
+
+  // Detection is bounded: at most sum(base << i) = 70ms past the injection
+  // (plus the sliver of deadline already armed when the hang hit).
+  ASSERT_EQ(h.kernel().reaper()->teardowns().size(), 1u);
+  const kern::TeardownRecord& td = h.kernel().reaper()->teardowns()[0];
+  EXPECT_EQ(td.cause, kern::TeardownCause::kHung);
+  EXPECT_LE(td.begin, plan.hang_at + sim::Msec(71));
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  const auto pings = LifecycleRecords(records, trace::Kind::kLifeHangPing, as->id());
+  ASSERT_EQ(pings.size(), 3u);
+  EXPECT_EQ(pings[0].arg0, 1u);
+  EXPECT_EQ(pings[1].arg0, 2u);
+  EXPECT_EQ(pings[2].arg0, 3u);
+  // Exponential backoff: whatever the first deadline's phase, the gaps
+  // between consecutive pings are exactly base << 1 and base << 2.
+  EXPECT_EQ(pings[1].ts - pings[0].ts, kern::SpaceReaper::kAckDeadlineBase << 1);
+  EXPECT_EQ(pings[2].ts - pings[1].ts, kern::SpaceReaper::kAckDeadlineBase << 2);
+  const auto hung = LifecycleRecords(records, trace::Kind::kLifeHang, as->id());
+  ASSERT_EQ(hung.size(), 1u);
+  EXPECT_EQ(hung[0].ts, pings[2].ts);  // third miss declares, same instant
+#endif
+}
+
+// An orderly exit that leaks everything: the reaper returns the dead
+// space's processors to the allocator, and the survivors' allocations grow
+// from the three-way fair share (2 of 6 each) to the two-way one (3 each).
+TEST(SpaceLifecycle, ExitReturnsProcessorsToSurvivors) {
+  rt::Harness h(SaConfig(/*processors=*/6));
+
+  inject::FaultPlan plan;
+  plan.exit_at = sim::Msec(3);
+  plan.exit_space = 0;
+  h.EnableFaultInjection(plan);
+
+  auto leaver = MakeSpace(h, "leaver");
+  auto survivor_a = MakeSpace(h, "survivor-a");
+  auto survivor_b = MakeSpace(h, "survivor-b");
+  h.AddRuntime(leaver.get());
+  h.AddRuntime(survivor_a.get());
+  h.AddRuntime(survivor_b.get());
+
+  // Probe the allocation well after the teardown settles but long before
+  // the survivors run out of work (their threads run ~25ms).
+  size_t assigned_a = 0;
+  size_t assigned_b = 0;
+  h.engine().ScheduleIn(sim::Msec(8), [&] {
+    assigned_a = survivor_a->address_space()->assigned().size();
+    assigned_b = survivor_b->address_space()->assigned().size();
+  });
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  kern::AddressSpace* as = leaver->address_space();
+  EXPECT_EQ(as->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(as->teardown_cause(), kern::TeardownCause::kExited);
+  EXPECT_EQ(h.kernel().reaper()->stats().exits, 1);
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(as), "");
+
+  // Fair-share recovery: each survivor reached its full three-processor
+  // demand once the departed space's share landed back in the pool.
+  EXPECT_EQ(assigned_a, 3u);
+  EXPECT_EQ(assigned_b, 3u);
+
+  EXPECT_EQ(survivor_a->threads_finished(), survivor_a->threads_created());
+  EXPECT_EQ(survivor_b->threads_finished(), survivor_b->threads_created());
+}
+
+// Churn soak: spaces arriving mid-run while random lifecycle faults kill
+// them.  Every run must complete with survivors finished, the trace replay
+// clean (no dead-space activity, vessel invariant intact for live spaces),
+// and the reaper's books balanced.
+TEST(SpaceLifecycle, ChurnSoakSurvivesRandomLifecycleFaults) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    rt::Harness h(SaConfig(/*processors=*/4, seed));
+    inject::FaultPlan plan = inject::FaultPlan::RandomChurn(seed * 131 + 9, /*spaces=*/4);
+    plan.io_retries = std::max(plan.io_retries, 6);
+    h.EnableFaultInjection(plan);
+    h.set_stall_timeout(sim::Msec(30000) + 100 * plan.ExtraIdleSlack());
+    h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt | trace::cat::kLifecycle);
+
+    auto initial = MakeSpace(h, "init");
+    h.AddRuntime(initial.get());
+    h.AddDaemon("daemon", sim::Msec(3), sim::Usec(300));
+    h.AddChurn(3, sim::Msec(2), [&h](int i) -> std::unique_ptr<rt::Runtime> {
+      return MakeSpace(h, "churn" + std::to_string(i), /*threads=*/3, /*iters=*/300);
+    });
+
+    const rt::RunResult result = h.TryRun();
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ":\n" << result.diagnostics;
+
+    const kern::ReaperStats& stats = h.kernel().reaper()->stats();
+    EXPECT_EQ(static_cast<size_t>(stats.spaces_reaped),
+              h.kernel().reaper()->teardowns().size());
+    if (!initial->address_space()->reaped()) {
+      EXPECT_EQ(initial->threads_finished(), initial->threads_created())
+          << "seed " << seed;
+    }
+
+#if SA_TRACE_ENABLED
+    trace::CheckOptions opts;
+    opts.idle_ready_threshold += plan.ExtraIdleSlack();
+    const trace::CheckResult check = trace::CheckInvariants(h.trace()->Snapshot(), opts);
+    EXPECT_TRUE(check.ok()) << "seed " << seed << ":\n" << check.Summary();
+#endif
+  }
+}
+
+// Zero perturbation: enabling fault injection with a plan that plants no
+// lifecycle faults (and nothing else) must leave a seeded run's trace
+// byte-identical to a run with no injector at all — the reaper's hooks sit
+// on the hot paths but may not disturb them.
+TEST(SpaceLifecycle, InactivePlanIsZeroPerturbation) {
+  auto run = [](bool with_injector) {
+    rt::Harness h(SaConfig(/*processors=*/3, /*seed=*/11));
+    h.EnableTracing(trace::cat::kAll);
+    if (with_injector) {
+      h.EnableFaultInjection(inject::FaultPlan{});  // nothing planted
+    }
+    ult::UltConfig uc;
+    uc.max_vcpus = 3;
+    auto rt = std::make_unique<ult::UltRuntime>(
+        &h.kernel(), "zp", ult::BackendKind::kSchedulerActivations, uc);
+    h.AddRuntime(rt.get());
+    h.AddDaemon("daemon", sim::Msec(3), sim::Usec(300));
+    apps::SpawnRandomProgram(rt.get(), /*threads=*/6, /*ops=*/25, 11 * 977 + 13);
+    h.Run();
+    return h.trace()->Snapshot();
+  };
+
+  const std::vector<trace::Record> baseline = run(false);
+  const std::vector<trace::Record> injected = run(true);
+#if SA_TRACE_ENABLED
+  ASSERT_GT(baseline.size(), 0u);
+#endif
+  ASSERT_EQ(baseline.size(), injected.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    const trace::Record& a = baseline[i];
+    const trace::Record& b = injected[i];
+    const bool same = a.ts == b.ts && a.cpu == b.cpu && a.as_id == b.as_id &&
+                      a.kind == b.kind && a.arg0 == b.arg0 && a.arg1 == b.arg1;
+    ASSERT_TRUE(same) << "trace diverged at record " << i << ": t=" << a.ts
+                      << " vs t=" << b.ts << ", kind "
+                      << trace::KindName(static_cast<trace::Kind>(a.kind)) << " vs "
+                      << trace::KindName(static_cast<trace::Kind>(b.kind));
+  }
+}
+
+}  // namespace
+}  // namespace sa
