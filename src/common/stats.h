@@ -61,8 +61,10 @@ class Samples {
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
-  // p in [0, 100].  Linear interpolation between closest ranks.
-  double Percentile(double p) {
+  // p in [0, 100].  Linear interpolation between closest ranks.  Const: the
+  // lazily sorted sample vector is a cache (mutable), so report code can
+  // take `const Samples&` without copying.
+  double Percentile(double p) const {
     SA_CHECK(!values_.empty());
     SA_CHECK(p >= 0.0 && p <= 100.0);
     EnsureSorted();
@@ -76,7 +78,7 @@ class Samples {
     return values_[lo] + frac * (values_[hi] - values_[lo]);
   }
 
-  double Median() { return Percentile(50.0); }
+  double Median() const { return Percentile(50.0); }
 
   void Reset() {
     values_.clear();
@@ -85,15 +87,17 @@ class Samples {
   }
 
  private:
-  void EnsureSorted() {
+  void EnsureSorted() const {
     if (!sorted_) {
       std::sort(values_.begin(), values_.end());
       sorted_ = true;
     }
   }
 
-  std::vector<double> values_;
-  bool sorted_ = false;
+  // Sort cache: ordering the samples is an implementation detail of
+  // Percentile, not an observable state change.
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
   RunningStats stats_;
 };
 

@@ -143,12 +143,20 @@ struct FiberPool::Worker {
   std::atomic<uint64_t> overflow_pops{0};
   std::atomic<uint64_t> steals{0};
   std::atomic<uint64_t> steal_attempts{0};
+  std::atomic<uint64_t> local_steals{0};   // same worker group (grouping on)
+  std::atomic<uint64_t> remote_steals{0};  // crossed worker groups
   std::atomic<uint64_t> parks{0};
   std::atomic<uint64_t> wakeups{0};  // multi-writer: bumped by wakers
 };
 
-FiberPool::FiberPool(int workers, size_t stack_size) : stack_size_(stack_size) {
+FiberPool::FiberPool(int workers, size_t stack_size)
+    : FiberPool(workers, FiberPoolOptions{stack_size, 0}) {}
+
+FiberPool::FiberPool(int workers, const FiberPoolOptions& options)
+    : stack_size_(options.stack_size),
+      workers_per_socket_(options.workers_per_socket) {
   SA_CHECK(workers >= 1);
+  SA_CHECK(options.workers_per_socket >= 0);
   spin_rounds_ = kSpinRounds;
   wake_eagerly_ = std::thread::hardware_concurrency() > 1;
   workers_.reserve(static_cast<size_t>(workers));
@@ -414,37 +422,52 @@ internal::Fiber* FiberPool::TrySteal(Worker* w) {
   w->rng_state ^= w->rng_state >> 7;
   w->rng_state ^= w->rng_state << 17;
   const size_t start = static_cast<size_t>(w->rng_state % n);
-  for (size_t i = 0; i < n; ++i) {
-    Worker* victim = workers_[(start + i) % n].get();
-    if (victim == w) {
-      continue;
-    }
-    Bump(w->steal_attempts);
-    internal::Fiber* f = nullptr;
-    if (victim->deque.Steal(&f)) {
-      // Batch: move part of the victim's visible backlog in this one
-      // episode, so fine-grained fibers do not cost a steal (and the OS
-      // thread ping-pong that goes with it) per item.  Each item is still
-      // taken by its own CAS — a loop of single steals, no new
-      // memory-ordering cases.  Extras go to our own deque, where other
-      // thieves can re-steal them.  Half is the classic load-balancing
-      // split (taking everything just makes the next dry worker steal it
-      // all back).
-      size_t extra = victim->deque.SizeApprox() / 2;
-      if (extra > kMaxStealBatch - 1) {
-        extra = kMaxStealBatch - 1;
+  // With grouping on, pass 0 probes only same-group victims (warm caches —
+  // the random scan order is kept within the group) and pass 1 the rest;
+  // with it off there is a single pass over everyone.
+  const int passes = workers_per_socket_ > 0 ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (size_t i = 0; i < n; ++i) {
+      Worker* victim = workers_[(start + i) % n].get();
+      if (victim == w) {
+        continue;
       }
-      uint64_t got = 1;
-      internal::Fiber* e = nullptr;
-      for (size_t k = 0; k < extra && victim->deque.Steal(&e); ++k) {
-        w->deque.Push(e);
-        ++got;
+      const bool same_group =
+          workers_per_socket_ > 0 &&
+          victim->index / workers_per_socket_ == w->index / workers_per_socket_;
+      if (passes == 2 && same_group != (pass == 0)) {
+        continue;
       }
-      Bump(w->steals, got);
-      SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibSteal,
-                    trace::HostNow(), w->index, -1,
-                    static_cast<uint64_t>(victim->index), got);
-      return f;
+      Bump(w->steal_attempts);
+      internal::Fiber* f = nullptr;
+      if (victim->deque.Steal(&f)) {
+        // Batch: move part of the victim's visible backlog in this one
+        // episode, so fine-grained fibers do not cost a steal (and the OS
+        // thread ping-pong that goes with it) per item.  Each item is still
+        // taken by its own CAS — a loop of single steals, no new
+        // memory-ordering cases.  Extras go to our own deque, where other
+        // thieves can re-steal them.  Half is the classic load-balancing
+        // split (taking everything just makes the next dry worker steal it
+        // all back).
+        size_t extra = victim->deque.SizeApprox() / 2;
+        if (extra > kMaxStealBatch - 1) {
+          extra = kMaxStealBatch - 1;
+        }
+        uint64_t got = 1;
+        internal::Fiber* e = nullptr;
+        for (size_t k = 0; k < extra && victim->deque.Steal(&e); ++k) {
+          w->deque.Push(e);
+          ++got;
+        }
+        Bump(w->steals, got);
+        if (workers_per_socket_ > 0) {
+          Bump(same_group ? w->local_steals : w->remote_steals, got);
+        }
+        SA_TRACE_EMIT(tracer_, trace::cat::kFibers, trace::Kind::kFibSteal,
+                      trace::HostNow(), w->index, -1,
+                      static_cast<uint64_t>(victim->index), got);
+        return f;
+      }
     }
   }
   return nullptr;
@@ -745,6 +768,8 @@ FiberPoolStats FiberPool::stats() const {
     s.overflow_pops += wp->overflow_pops.load(std::memory_order_relaxed);
     s.steals += wp->steals.load(std::memory_order_relaxed);
     s.steal_attempts += wp->steal_attempts.load(std::memory_order_relaxed);
+    s.local_steals += wp->local_steals.load(std::memory_order_relaxed);
+    s.remote_steals += wp->remote_steals.load(std::memory_order_relaxed);
     s.parks += wp->parks.load(std::memory_order_relaxed);
     s.wakeups += wp->wakeups.load(std::memory_order_relaxed);
   }

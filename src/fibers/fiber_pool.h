@@ -92,12 +92,27 @@ struct FiberPoolStats {
   uint64_t steal_attempts = 0;  // victim deques probed (hit or miss)
   uint64_t parks = 0;          // times a worker blocked with nothing to run
   uint64_t wakeups = 0;        // parked workers woken by PushRunnable
+  // Steal distance split, populated only when the pool was built with
+  // workers_per_socket > 0 (local_steals + remote_steals == steals then).
+  uint64_t local_steals = 0;   // victim in the thief's worker group
+  uint64_t remote_steals = 0;  // steal crossed worker groups
+};
+
+// Construction options.  workers_per_socket > 0 partitions workers into
+// contiguous groups of that size (mirroring the simulated machine's sockets
+// — see src/hw/topology.h): the steal scan probes same-group victims before
+// remote ones, and stats() splits steals by distance.  0 keeps the flat
+// random scan.
+struct FiberPoolOptions {
+  size_t stack_size = 128 * 1024;  // per-fiber stack
+  int workers_per_socket = 0;
 };
 
 class FiberPool {
  public:
   // Starts `workers` kernel threads.  stack_size is per fiber.
   explicit FiberPool(int workers, size_t stack_size = 128 * 1024);
+  FiberPool(int workers, const FiberPoolOptions& options);
   ~FiberPool();
   FiberPool(const FiberPool&) = delete;
   FiberPool& operator=(const FiberPool&) = delete;
@@ -177,6 +192,7 @@ class FiberPool {
   void RecycleFiber(internal::Fiber* fiber);
 
   const size_t stack_size_;
+  const int workers_per_socket_;  // 0 = no grouping (flat steal scan)
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   trace::TraceBuffer* tracer_ = nullptr;

@@ -2,7 +2,11 @@
 
 namespace sa::hw {
 
-Machine::Machine(int num_processors, uint64_t seed) : rng_(seed) {
+Machine::Machine(int num_processors, uint64_t seed)
+    : Machine(num_processors, seed, TopologyConfig{}) {}
+
+Machine::Machine(int num_processors, uint64_t seed, const TopologyConfig& topology)
+    : topology_(topology, num_processors), rng_(seed) {
   SA_CHECK_MSG(num_processors >= 1 && num_processors <= 64,
                "processor count out of supported range");
   processors_.reserve(static_cast<size_t>(num_processors));

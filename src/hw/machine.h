@@ -11,6 +11,7 @@
 
 #include "src/common/rng.h"
 #include "src/hw/processor.h"
+#include "src/hw/topology.h"
 #include "src/inject/fault_injector.h"
 #include "src/sim/engine.h"
 
@@ -18,8 +19,11 @@ namespace sa::hw {
 
 class Machine {
  public:
-  // Builds a machine with `num_processors` processors (1..64).
+  // Builds a flat (single-socket) machine with `num_processors` processors
+  // (1..64) — the pre-topology shape, byte-identical on seeded traces.
   Machine(int num_processors, uint64_t seed);
+  // Builds a hierarchical machine (sockets × cores, migration penalties).
+  Machine(int num_processors, uint64_t seed, const TopologyConfig& topology);
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
@@ -31,6 +35,8 @@ class Machine {
     SA_CHECK(id >= 0 && id < num_processors());
     return processors_[id].get();
   }
+
+  const Topology& topology() const { return topology_; }
 
   common::Rng& rng() { return rng_; }
 
@@ -47,6 +53,7 @@ class Machine {
  private:
   sim::Engine engine_;
   std::vector<std::unique_ptr<Processor>> processors_;
+  Topology topology_;
   common::Rng rng_;
   inject::FaultInjector* injector_ = nullptr;
 };

@@ -1,0 +1,110 @@
+// Hierarchical machine topology: sockets × cores.
+//
+// The paper's Firefly was a small uniform shared-memory machine, and the
+// Section 4.1 allocator deliberately ignores *where* a processor comes from.
+// On hierarchical machines (BubbleSched; Thibault et al., PAPERS.md) that
+// blindness is the dominant avoidable cost: an execution context migrating
+// to a different core — and worse, a different socket — restarts with a cold
+// cache.  This module gives the simulated machine that structure.
+//
+// A Topology partitions processors into equal-size sockets (block
+// assignment: processors [0, cores_per_socket) are socket 0, and so on) and
+// prices a context migration by the level of the hierarchy it crosses:
+// nothing for staying put, a small core penalty within a socket, a much
+// larger one across sockets.  Penalties are charged in *virtual time* at the
+// dispatch sites that move contexts (src/kern/kernel.cc, src/ult/).
+//
+// The default single-socket ("flat") topology charges nothing anywhere and
+// makes every distance query trivial, so a flat machine behaves — to the
+// byte, on seeded traces — exactly like the machine before topology existed.
+
+#ifndef SA_HW_TOPOLOGY_H_
+#define SA_HW_TOPOLOGY_H_
+
+#include "src/common/assert.h"
+#include "src/sim/time.h"
+
+namespace sa::hw {
+
+struct TopologyConfig {
+  // Number of sockets the processors divide into.  1 = flat machine: no
+  // hierarchy, no penalties, identical to the pre-topology behaviour.
+  int sockets = 1;
+
+  // Cold-cache penalty charged (in virtual time) when an execution context
+  // is dispatched on a different core of the *same* socket than it last ran
+  // on: refilling L1/L2 from the shared cache.  Ignored when sockets == 1.
+  sim::Duration core_migration_penalty = sim::Usec(5);
+
+  // Penalty for crossing sockets: the working set must come over the
+  // interconnect.  An order of magnitude above the core penalty, mirroring
+  // the NUMA ratios the hierarchical-scheduling literature calibrates
+  // against.  Ignored when sockets == 1.
+  sim::Duration socket_migration_penalty = sim::Usec(50);
+};
+
+// Migration distance between two processors, by hierarchy level crossed.
+enum class Distance : int {
+  kSameCpu = 0,
+  kSameSocket = 1,
+  kCrossSocket = 2,
+};
+
+class Topology {
+ public:
+  // Flat topology over `num_processors` (the default machine shape).
+  explicit Topology(int num_processors)
+      : Topology(TopologyConfig{}, num_processors) {}
+
+  Topology(const TopologyConfig& config, int num_processors)
+      : config_(config), num_processors_(num_processors) {
+    SA_CHECK_MSG(config.sockets >= 1, "topology needs at least one socket");
+    SA_CHECK_MSG(config.sockets <= num_processors,
+                 "more sockets than processors");
+    cores_per_socket_ =
+        (num_processors + config.sockets - 1) / config.sockets;
+  }
+
+  const TopologyConfig& config() const { return config_; }
+  bool hierarchical() const { return config_.sockets > 1; }
+  int num_sockets() const { return config_.sockets; }
+  int num_processors() const { return num_processors_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+
+  int SocketOf(int cpu) const {
+    SA_CHECK(cpu >= 0 && cpu < num_processors_);
+    return cpu / cores_per_socket_;
+  }
+
+  bool SameSocket(int cpu_a, int cpu_b) const {
+    return SocketOf(cpu_a) == SocketOf(cpu_b);
+  }
+
+  Distance DistanceBetween(int cpu_a, int cpu_b) const {
+    if (cpu_a == cpu_b) {
+      return Distance::kSameCpu;
+    }
+    return SameSocket(cpu_a, cpu_b) ? Distance::kSameSocket
+                                    : Distance::kCrossSocket;
+  }
+
+  // Cold-cache cost of continuing on `to` a context that last ran on `from`.
+  // Zero on a flat machine and zero for staying on the same processor, so
+  // flat seeded traces are unperturbed.
+  sim::Duration MigrationPenalty(int from, int to) const {
+    if (!hierarchical() || from == to) {
+      return 0;
+    }
+    return SameSocket(from, to) ? config_.core_migration_penalty
+                                : config_.socket_migration_penalty;
+  }
+
+ private:
+  TopologyConfig config_;
+  int num_processors_;
+  int cores_per_socket_;
+};
+
+}  // namespace sa::hw
+
+#endif  // SA_HW_TOPOLOGY_H_

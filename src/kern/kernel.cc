@@ -220,16 +220,47 @@ void Kernel::MakeReady(KThread* kt) {
   DomainFor(as)->ready.PushBack(kt);
 }
 
+sim::Duration Kernel::NoteMigration(hw::Processor* proc, const KThread* kt) {
+  const hw::Topology& topo = machine_->topology();
+  if (!topo.hierarchical() || kt->processor() == nullptr) {
+    return 0;
+  }
+  const int from = kt->processor()->id();
+  const int to = proc->id();
+  if (from == to) {
+    return 0;
+  }
+  if (topo.SameSocket(from, to)) {
+    ++counters_.migrations_core;
+    engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocMigrateCore, to,
+                       kt->address_space()->id(), static_cast<uint64_t>(kt->id()),
+                       static_cast<uint64_t>(from));
+  } else {
+    ++counters_.migrations_socket;
+    engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocMigrateSocket, to,
+                       kt->address_space()->id(), static_cast<uint64_t>(kt->id()),
+                       static_cast<uint64_t>(from));
+  }
+  const sim::Duration penalty = topo.MigrationPenalty(from, to);
+  counters_.migration_penalty_time += penalty;
+  if (allocator_ != nullptr) {
+    allocator_->NoteSpaceMigration(kt->address_space());
+  }
+  return penalty;
+}
+
 void Kernel::ChargeDispatchAndRun(hw::Processor* proc, KThread* kt) {
   SA_CHECK(running_on(proc) == nullptr);
   SA_CHECK(kt->state() == KThreadState::kReady);
+  const sim::Duration migration = NoteMigration(proc, kt);
   SetRunning(proc, kt);
   kt->set_processor(proc);
   kt->set_state(KThreadState::kRunning);
   ++counters_.dispatches;
   engine().TraceEmit(trace::cat::kKernel, trace::Kind::kDispatch, proc->id(),
                      kt->address_space()->id(), static_cast<uint64_t>(kt->id()));
-  proc->BeginKernelSpan(DispatchCost(kt->address_space()), [this, kt] { RunThread(kt); });
+  proc->BeginKernelSpan(DispatchCost(kt->address_space()) + migration,
+                        [this, kt] { RunThread(kt); });
 }
 
 void Kernel::RunThread(KThread* kt) {
@@ -240,6 +271,7 @@ void Kernel::RunThread(KThread* kt) {
 
 void Kernel::RunContextOn(hw::Processor* proc, KThread* kt, sim::Duration extra_kernel_cost) {
   SA_CHECK(running_on(proc) == nullptr);
+  extra_kernel_cost += NoteMigration(proc, kt);
   SetRunning(proc, kt);
   kt->set_processor(proc);
   kt->set_state(KThreadState::kRunning);

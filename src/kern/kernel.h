@@ -53,6 +53,12 @@ struct Config {
   bool tuned_upcalls = false;
   // Section 4.3: cache and recycle discarded activations (ablation switch).
   bool recycle_activations = true;
+  // Locality-aware processor allocation (off = the paper's locality-blind
+  // Section 4.1 policy, byte-identical on seeded traces).  When on, the
+  // allocator re-grants free processors to their last owning space (warm
+  // cache), picks revocation victims that keep each space's holdings
+  // socket-compact, and breaks fair-share leftover ties toward incumbency.
+  bool affinity_allocation = false;
 };
 
 // Event counters for experiments and tests.
@@ -82,6 +88,15 @@ struct KernelCounters {
   int64_t activation_reuses = 0;
   int64_t delayed_notifications = 0;
   int64_t cs_recoveries = 0;  // critical-section continuations at user level
+  // Topology / locality (src/hw/topology.h).  Migrations count a context
+  // dispatched on a different processor than it last ran on; all four stay
+  // zero on a flat machine except same-socket migrations, which flat
+  // machines do not track (no topology to attribute them to).
+  int64_t migrations_core = 0;         // same socket, different core
+  int64_t migrations_socket = 0;       // crossed sockets (cold cache)
+  sim::Duration migration_penalty_time = 0;  // virtual time charged for both
+  int64_t ult_steals_local = 0;   // user-level steals within a socket
+  int64_t ult_steals_remote = 0;  // user-level steals across sockets
 };
 
 // Why the kernel asked a processor to stop (set before RequestInterrupt).
@@ -246,6 +261,12 @@ class Kernel {
   // Native mode: place a high-priority wakeup at a random processor
   // (modelling interrupt-local delivery); may preempt lower-priority work.
   bool PlaceHighPriority(KThread* kt);
+
+  // Cold-cache accounting for `kt` landing on `proc` after last running
+  // elsewhere: counts the migration by hierarchy level, emits the
+  // cat::kLocality record, and returns the virtual-time penalty to fold
+  // into the dispatch span.  Zero (and silent) on a flat machine.
+  sim::Duration NoteMigration(hw::Processor* proc, const KThread* kt);
 
   sim::Duration CreateCost(const AddressSpace* as) const;
   sim::Duration ExitCost(const AddressSpace* as) const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/hw/topology.h"
 #include "src/kern/kernel.h"
+#include "src/trace/trace.h"
 
 namespace sa::kern {
 
@@ -85,7 +87,15 @@ std::vector<int> ProcessorAllocator::ComputeTargets() const {
         continue;
       }
       // Everyone still open wants more than the share: give each the share,
-      // then hand out the leftover one-by-one in space-id order.
+      // then hand out the leftover one-by-one in space-id order.  Under the
+      // affinity policy, incumbents (spaces already holding more processors)
+      // come first — a leftover that stays put forces no migration; the
+      // stable sort keeps id order among equals.
+      if (kernel_->config().affinity_allocation) {
+        std::stable_sort(open.begin(), open.end(), [this](size_t a, size_t b) {
+          return spaces_[a]->assigned().size() > spaces_[b]->assigned().size();
+        });
+      }
       for (size_t i : open) {
         target[i] += share;
         pool -= share;
@@ -128,8 +138,7 @@ void ProcessorAllocator::Rebalance() {
       if (surplus <= 0) {
         continue;
       }
-      // Walk from the most recently granted processor backwards.
-      std::vector<hw::Processor*> candidates(as->assigned().rbegin(), as->assigned().rend());
+      std::vector<hw::Processor*> candidates = RevocationOrder(as);
       for (hw::Processor* proc : candidates) {
         if (surplus == 0) {
           break;
@@ -183,14 +192,127 @@ void ProcessorAllocator::GrantFreeProcessors() {
     if (best == nullptr) {
       return;  // idle processors stay in the free pool
     }
-    hw::Processor* proc = free_.back();
-    free_.pop_back();
-    Grant(proc, best);
+    // Affinity: a space tied with `best` on priority and deficit has an
+    // equal claim, so if a pooled processor's last owner is among the tied
+    // spaces, hand it straight back — the common case after a revocation
+    // burst, where each robbed space is owed exactly one processor and the
+    // id tie-break would shuffle them.
+    if (kernel_->config().affinity_allocation) {
+      bool granted_warm = false;
+      for (size_t i = free_.size(); i-- > 0 && !granted_warm;) {
+        auto prev = last_owner_.find(free_[i]->id());
+        if (prev == last_owner_.end()) {
+          continue;
+        }
+        for (size_t j = 0; j < spaces_.size(); ++j) {
+          AddressSpace* as = spaces_[j];
+          const int deficit = target[j] - static_cast<int>(as->assigned().size());
+          if (as->id() == prev->second && as->priority() == best->priority() &&
+              deficit == best_deficit) {
+            hw::Processor* proc = free_[i];
+            free_.erase(free_.begin() + static_cast<ptrdiff_t>(i));
+            Grant(proc, as);
+            granted_warm = true;
+            break;
+          }
+        }
+      }
+      if (granted_warm) {
+        continue;
+      }
+    }
+    Grant(PickFreeProcessor(best), best);
   }
+}
+
+hw::Processor* ProcessorAllocator::PickFreeProcessor(const AddressSpace* as) {
+  SA_CHECK(!free_.empty());
+  size_t pick = free_.size() - 1;  // default policy: most recently freed
+  if (kernel_->config().affinity_allocation) {
+    const hw::Topology& topo = kernel_->machine()->topology();
+    std::vector<int> held(static_cast<size_t>(topo.num_sockets()), 0);
+    for (const hw::Processor* p : as->assigned()) {
+      ++held[static_cast<size_t>(topo.SocketOf(p->id()))];
+    }
+    // Warm (last owner is this space) dominates; then a socket the space
+    // already occupies.  `>=` so ties go to the most recently freed,
+    // matching the default policy's choice.
+    int best_score = -1;
+    for (size_t i = 0; i < free_.size(); ++i) {
+      const hw::Processor* p = free_[i];
+      auto prev = last_owner_.find(p->id());
+      int score = 0;
+      if (prev != last_owner_.end() && prev->second == as->id()) {
+        score += 2;
+      }
+      if (held[static_cast<size_t>(topo.SocketOf(p->id()))] > 0) {
+        score += 1;
+      }
+      if (score >= best_score) {
+        best_score = score;
+        pick = i;
+      }
+    }
+  }
+  hw::Processor* proc = free_[pick];
+  free_.erase(free_.begin() + static_cast<ptrdiff_t>(pick));
+  return proc;
+}
+
+std::vector<hw::Processor*> ProcessorAllocator::RevocationOrder(
+    const AddressSpace* as) const {
+  // Most recently granted first: long-held (warm) processors stay with
+  // their space longest.
+  std::vector<hw::Processor*> order(as->assigned().rbegin(), as->assigned().rend());
+  const hw::Topology& topo = kernel_->machine()->topology();
+  if (!kernel_->config().affinity_allocation || !topo.hierarchical()) {
+    return order;
+  }
+  // Give up stragglers first — processors in sockets where the space holds
+  // the fewest — so what remains is socket-compact.  Stable, so recency
+  // still decides within a socket-population class.
+  std::vector<int> held(static_cast<size_t>(topo.num_sockets()), 0);
+  for (const hw::Processor* p : as->assigned()) {
+    ++held[static_cast<size_t>(topo.SocketOf(p->id()))];
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const hw::Processor* a, const hw::Processor* b) {
+                     return held[static_cast<size_t>(topo.SocketOf(a->id()))] <
+                            held[static_cast<size_t>(topo.SocketOf(b->id()))];
+                   });
+  return order;
+}
+
+ProcessorAllocator::SpaceStats ProcessorAllocator::stats_for(
+    const AddressSpace* as) const {
+  auto it = stats_.find(as->id());
+  return it == stats_.end() ? SpaceStats{} : it->second;
 }
 
 void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
   SA_DEBUG(kLog, "grant processor %d to %s", proc->id(), as->name().c_str());
+  const auto prev = last_owner_.find(proc->id());
+  const bool warm = prev != last_owner_.end() && prev->second == as->id();
+  SpaceStats& st = stats_[as->id()];
+  if (warm) {
+    ++st.warm_grants;
+  } else {
+    ++st.cold_grants;
+  }
+  const hw::Topology& topo = kernel_->machine()->topology();
+  if (topo.hierarchical()) {
+    const auto socket = static_cast<uint64_t>(topo.SocketOf(proc->id()));
+    if (warm) {
+      kernel_->engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocWarmGrant,
+                                  proc->id(), as->id(), socket, 0);
+    } else {
+      const uint64_t prev_owner =
+          prev == last_owner_.end() ? 0 : static_cast<uint64_t>(prev->second) + 1;
+      kernel_->engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocColdGrant,
+                                  proc->id(), as->id(), socket, prev_owner);
+    }
+  }
+  last_owner_[proc->id()] = as->id();
   kernel_->AssignProcessor(proc, as);
   if (as->mode() == AsMode::kSchedulerActivations) {
     as->sa()->OnProcessorGranted(proc);
@@ -242,6 +364,7 @@ int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
 void ProcessorAllocator::ReleaseSpace(AddressSpace* as) {
   as->set_desired_processors(0);
   pending_revokes_.erase(as->id());
+  stats_.erase(as->id());
   for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
     if (*it == as) {
       spaces_.erase(it);

@@ -15,6 +15,14 @@
 // Simplification vs. the paper: fractional shares are not time-sliced among
 // same-priority spaces; leftover processors are granted whole (deterministic
 // by space id).  The experiments reproduced here use exact divisions.
+//
+// Affinity (DESIGN.md §13): with Config::affinity_allocation set, the
+// allocator keeps the paper's *shares* but chooses *which* physical
+// processors change hands with locality in mind: grants prefer a processor's
+// last owning space (warm cache), revocation victims are chosen to keep each
+// space's holdings socket-compact, and leftover shares break ties toward
+// incumbents.  With the flag off (the default) every choice reduces to the
+// original locality-blind policy, byte-identically on seeded traces.
 
 #ifndef SA_KERN_PROC_ALLOC_H_
 #define SA_KERN_PROC_ALLOC_H_
@@ -69,15 +77,38 @@ class ProcessorAllocator {
   std::vector<int> ComputeTargets() const;
   const std::vector<AddressSpace*>& spaces() const { return spaces_; }
 
+  // Per-space grant classification against the processor's previous owner,
+  // plus the space's kernel-thread migrations (reported by the kernel's
+  // dispatch paths on hierarchical machines).  Counted regardless of policy
+  // flags (bookkeeping only; never affects placement) so ablations can
+  // compare affinity on/off like with like.
+  struct SpaceStats {
+    int64_t warm_grants = 0;  // processor's last owner was this space
+    int64_t cold_grants = 0;  // last owned by another space, or never owned
+    int64_t migrations = 0;   // this space's threads changed processor
+  };
+  SpaceStats stats_for(const AddressSpace* as) const;
+  // One of `as`'s threads was dispatched on a different processor than its
+  // last (Kernel::NoteMigration).
+  void NoteSpaceMigration(const AddressSpace* as) { ++stats_[as->id()].migrations; }
+
  private:
   int PendingRevokes(const AddressSpace* as) const;
   void GrantFreeProcessors();
   void Grant(hw::Processor* proc, AddressSpace* as);
+  // Removes and returns the free processor to grant to `as`: the affinity
+  // policy's pick when enabled, else the most recently freed.
+  hw::Processor* PickFreeProcessor(const AddressSpace* as);
+  // Revocation victims for `as`, best-first.  Default: most recently granted
+  // first.  Affinity: least-held socket first so holdings stay compact.
+  std::vector<hw::Processor*> RevocationOrder(const AddressSpace* as) const;
 
   Kernel* kernel_;
   std::vector<AddressSpace*> spaces_;
   std::vector<hw::Processor*> free_;
   std::map<int, int> pending_revokes_;  // space id -> in-flight revocations
+  std::map<int, int> last_owner_;       // processor id -> last owning space id
+  std::map<int, SpaceStats> stats_;     // space id -> grant stats
   bool rebalancing_ = false;
   bool rerun_ = false;
 };

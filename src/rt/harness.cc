@@ -27,7 +27,7 @@ const char* RunOutcomeName(RunOutcome outcome) {
 
 Harness::Harness(HarnessConfig config)
     : config_(config),
-      machine_(config.processors, config.seed),
+      machine_(config.processors, config.seed, config.topology),
       kernel_(&machine_, config.kernel) {}
 
 Harness::~Harness() = default;

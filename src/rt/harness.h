@@ -21,6 +21,10 @@ namespace sa::rt {
 struct HarnessConfig {
   int processors = 6;  // the paper's Firefly had six CVAX processors
   uint64_t seed = 1;
+  // Machine shape (sockets × cores + migration penalties).  The default is
+  // flat — one socket, no penalties — which reproduces the uniform Firefly
+  // and leaves seeded traces byte-identical to the pre-topology behaviour.
+  hw::TopologyConfig topology;
   kern::Config kernel;
 };
 

@@ -40,6 +40,8 @@ RunReport MakeReport(Harness& harness) {
   }
   report.reaper = harness.kernel().reaper()->stats();
   report.teardowns = harness.kernel().reaper()->teardowns();
+  report.hierarchical = m.topology().hierarchical();
+  report.sockets = m.topology().num_sockets();
   return report;
 }
 
@@ -95,6 +97,18 @@ std::string RunReport::ToString() const {
                   static_cast<long long>(inject.alloc_denials),
                   static_cast<long long>(inject.storm_revocations),
                   static_cast<long long>(inject.degraded_transitions));
+    out += buf;
+  }
+  if (hierarchical) {
+    std::snprintf(buf, sizeof(buf),
+                  "topology: %d sockets | migrations: %lld same-socket, "
+                  "%lld cross-socket (%s charged) | ult steals: %lld local, "
+                  "%lld remote\n",
+                  sockets, static_cast<long long>(counters.migrations_core),
+                  static_cast<long long>(counters.migrations_socket),
+                  sim::FormatDuration(counters.migration_penalty_time).c_str(),
+                  static_cast<long long>(counters.ult_steals_local),
+                  static_cast<long long>(counters.ult_steals_remote));
     out += buf;
   }
   if (reaper.spaces_reaped > 0) {

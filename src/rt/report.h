@@ -35,6 +35,10 @@ struct RunReport {
   // §12); empty unless lifecycle faults fired.
   kern::ReaperStats reaper;
   std::vector<kern::TeardownRecord> teardowns;
+  // Machine topology (DESIGN.md §13).  Migration/steal-distance counters
+  // live in `counters`; these identify the shape they were measured on.
+  bool hierarchical = false;
+  int sockets = 1;
 
   // Fraction of machine time spent running application code.
   double UserUtilization() const;

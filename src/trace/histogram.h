@@ -5,8 +5,10 @@
 #ifndef SA_TRACE_HISTOGRAM_H_
 #define SA_TRACE_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <limits>
 
 namespace sa::trace {
 
@@ -20,7 +22,7 @@ class LatencyHistogram {
     }
     ++buckets_[BucketFor(value)];
     ++count_;
-    sum_ += value;
+    AddToSum(value);
     if (count_ == 1 || value < min_) {
       min_ = value;
     }
@@ -43,7 +45,7 @@ class LatencyHistogram {
       max_ = other.max_;
     }
     count_ += other.count_;
-    sum_ += other.sum_;
+    AddToSum(other.sum_);
   }
 
   uint64_t count() const { return count_; }
@@ -68,7 +70,9 @@ class LatencyHistogram {
     for (int i = 0; i < kBuckets; ++i) {
       seen += buckets_[i];
       if (seen > target) {
-        return UpperBound(i);
+        // The global max clamps the top occupied bucket (the only place the
+        // bucket bound can exceed it) to an observed value.
+        return std::min(UpperBound(i), max_);
       }
     }
     return max_;
@@ -89,11 +93,26 @@ class LatencyHistogram {
     return b + 1 < kBuckets ? b + 1 : kBuckets - 1;
   }
 
+  // Largest value bucket `bucket` can hold: bucket 0 holds only 0 and bucket
+  // b >= 1 holds [2^(b-1), 2^b - 1] (see BucketFor).  The last bucket is
+  // open-ended (everything >= 2^(kBuckets-2)), so its bound saturates instead
+  // of shifting into the sign bit.
   static int64_t UpperBound(int bucket) {
-    if (bucket == 0) {
+    if (bucket <= 0) {
       return 0;
     }
-    return static_cast<int64_t>(1) << bucket;
+    if (bucket >= kBuckets - 1) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    return (static_cast<int64_t>(1) << bucket) - 1;
+  }
+
+  // Saturating accumulate: a long run of large latencies must degrade the
+  // mean gracefully, not wrap sum_ negative (signed overflow is UB).
+  void AddToSum(int64_t value) {
+    if (__builtin_add_overflow(sum_, value, &sum_)) {
+      sum_ = std::numeric_limits<int64_t>::max();
+    }
   }
 
   std::array<uint64_t, kBuckets> buckets_{};

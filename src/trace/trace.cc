@@ -62,6 +62,11 @@ const char* KindName(Kind kind) {
     case Kind::kLifeReclaim: return "life-reclaim";
     case Kind::kLifeIoDiscard: return "life-io-discard";
     case Kind::kLifeTeardownDone: return "life-teardown-done";
+    case Kind::kLocMigrateCore: return "loc-migrate-core";
+    case Kind::kLocMigrateSocket: return "loc-migrate-socket";
+    case Kind::kLocStealRemote: return "loc-steal-remote";
+    case Kind::kLocWarmGrant: return "loc-warm-grant";
+    case Kind::kLocColdGrant: return "loc-cold-grant";
   }
   return "?";
 }

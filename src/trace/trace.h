@@ -39,6 +39,7 @@ inline constexpr uint32_t kUlt = 1u << 4;        // FastThreads package
 inline constexpr uint32_t kFibers = 1u << 5;     // native fiber pool (host clock)
 inline constexpr uint32_t kInject = 1u << 6;     // fault-injection layer
 inline constexpr uint32_t kLifecycle = 1u << 7;  // address-space teardown/reap
+inline constexpr uint32_t kLocality = 1u << 8;   // topology: migrations, locality
 inline constexpr uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -117,6 +118,22 @@ enum class Kind : uint16_t {
                             // arg0 = thread id
   kLifeTeardownDone = 120,  // space fully dead; arg0 = processors returned,
                             // arg1 = teardown latency ns
+
+  // cat::kLocality — hierarchical-topology events (src/hw/topology.h).
+  // Emitted only on hierarchical machines; a flat machine never produces
+  // them, keeping flat seeded traces byte-identical.  `cpu` is the
+  // destination processor throughout.
+  kLocMigrateCore = 128,    // context moved cores within a socket;
+                            // arg0 = thread id, arg1 = source cpu
+  kLocMigrateSocket = 129,  // context crossed sockets (cold cache);
+                            // arg0 = thread id, arg1 = source cpu
+  kLocStealRemote = 130,    // ULT steal crossed sockets; arg0 = thief vcpu,
+                            // arg1 = victim vcpu
+  kLocWarmGrant = 131,      // allocator re-granted a processor to its last
+                            // owner; arg0 = socket
+  kLocColdGrant = 132,      // granted a processor last owned by another
+                            // space (or never owned); arg0 = socket,
+                            // arg1 = previous owner space id + 1 (0 = none)
 };
 
 const char* KindName(Kind kind);

@@ -25,6 +25,13 @@ struct UltConfig {
   // Section 4.2: an idle virtual processor spins for idle_hysteresis before
   // notifying the kernel it is idle (scheduler-activation backend only).
   bool idle_hysteresis = true;
+
+  // DESIGN.md §13: on a hierarchical machine, scan same-socket victims
+  // before remote ones when stealing, and charge a successful cross-socket
+  // steal the topology's migration penalty (the stolen thread's working set
+  // crosses the interconnect).  Off by default — the paper's plain rotation
+  // scan, byte-identical on seeded traces.  No effect on flat machines.
+  bool locality_aware_stealing = false;
 };
 
 }  // namespace sa::ult

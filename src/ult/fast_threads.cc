@@ -1,5 +1,6 @@
 #include "src/ult/fast_threads.h"
 
+#include <algorithm>
 #include <climits>
 #include <utility>
 
@@ -167,12 +168,64 @@ Vcpu* FastThreads::LowestPriorityRunningVcpu(const Vcpu* exclude) const {
   return lowest;
 }
 
-Tcb* FastThreads::Steal(Vcpu* v) {
+std::vector<Vcpu*> FastThreads::StealOrder(Vcpu* v) {
+  std::vector<Vcpu*> order;
+  order.reserve(static_cast<size_t>(num_vcpus() - 1));
+  for (int k = 1; k < num_vcpus(); ++k) {
+    order.push_back(vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get());
+  }
+  const hw::Topology& topo = kernel_->machine()->topology();
+  if (config_.locality_aware_stealing && topo.hierarchical() && v->bound) {
+    // Same-socket victims first; the stable partition keeps the rotation
+    // order within each group.  Unbound victims have no location and scan
+    // with the remote group.
+    const int home = topo.SocketOf(v->proc()->id());
+    std::stable_partition(order.begin(), order.end(), [&](Vcpu* u) {
+      return u->bound && topo.SocketOf(u->proc()->id()) == home;
+    });
+  }
+  return order;
+}
+
+sim::Duration FastThreads::NoteSteal(Vcpu* thief, Vcpu* victim) {
+  const hw::Topology& topo = kernel_->machine()->topology();
+  if (!topo.hierarchical() || !thief->bound) {
+    return 0;
+  }
+  const int thief_cpu = thief->proc()->id();
+  // An unbound victim's list has no processor; the stolen thread is cold
+  // wherever it lands, so that counts (and is priced) as a remote steal.
+  const bool remote =
+      !victim->bound || !topo.SameSocket(thief_cpu, victim->proc()->id());
+  if (!remote) {
+    ++counters_.steals_same_socket;
+    ++kernel_->counters().ult_steals_local;
+    return 0;
+  }
+  ++counters_.steals_cross_socket;
+  ++kernel_->counters().ult_steals_remote;
+  kernel_->engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocStealRemote,
+                              thief_cpu, as_->id(),
+                              static_cast<uint64_t>(thief->index),
+                              static_cast<uint64_t>(victim->index));
+  // The cold-cache cost of pulling work across the socket boundary is a
+  // property of the machine, not of the stealing policy: both the blind and
+  // the locality-aware scan pay it, which is what makes their elapsed times
+  // comparable in the ablation.  The flag only changes the victim order.
+  const sim::Duration penalty =
+      victim->bound ? topo.MigrationPenalty(victim->proc()->id(), thief_cpu)
+                    : topo.config().socket_migration_penalty;
+  kernel_->counters().migration_penalty_time += penalty;
+  return penalty;
+}
+
+Tcb* FastThreads::Steal(Vcpu* v, sim::Duration* penalty) {
   if (has_priorities_) {
     Vcpu* best_victim = nullptr;
     Tcb* best = nullptr;
-    for (int k = 1; k < num_vcpus(); ++k) {
-      Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+    // Strict `>` plus the locality-ordered scan: among equal priorities a
+    // same-socket victim wins.
+    for (Vcpu* victim : StealOrder(v)) {
       for (Tcb* t : victim->ready) {
         if (best == nullptr || t->priority > best->priority) {
           best = t;
@@ -183,6 +236,7 @@ Tcb* FastThreads::Steal(Vcpu* v) {
     if (best != nullptr) {
       best_victim->ready.Remove(best);
       ++counters_.steals;
+      *penalty += NoteSteal(v, best_victim);
       if (TraceOn()) {
         TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
                  static_cast<uint64_t>(v->index),
@@ -191,11 +245,11 @@ Tcb* FastThreads::Steal(Vcpu* v) {
     }
     return best;
   }
-  for (int k = 1; k < num_vcpus(); ++k) {
-    Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+  for (Vcpu* victim : StealOrder(v)) {
     Tcb* t = victim->ready.PopBack();  // oldest first from a remote list
     if (t != nullptr) {
       ++counters_.steals;
+      *penalty += NoteSteal(v, victim);
       if (TraceOn()) {
         TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
                  static_cast<uint64_t>(v->index), static_cast<uint64_t>(victim->index));
@@ -248,9 +302,11 @@ void FastThreads::Dispatch(Vcpu* v) {
   }
   Tcb* next = PopLocal(v);
   if (next == nullptr && num_vcpus() > 1) {
-    next = Steal(v);
+    sim::Duration steal_penalty = 0;
+    next = Steal(v, &steal_penalty);
     if (next != nullptr) {
-      // Charge the scan separately, then fall through to the dispatch charge.
+      // Charge the scan (plus any cross-socket migration penalty)
+      // separately, then fall through to the dispatch charge.
       Tcb* stolen = next;
       if (TraceOn()) {
         TraceUlt(trace::Kind::kUltDispatch, v->proc()->id(),
@@ -258,7 +314,7 @@ void FastThreads::Dispatch(Vcpu* v) {
         TraceUlt(trace::Kind::kUltRunnable, v->proc()->id(),
                  static_cast<uint64_t>(v->index), QueuedReady());
       }
-      ChargeMgmt(v, kernel_->costs().ult_steal_scan, [this, v, stolen] {
+      ChargeMgmt(v, kernel_->costs().ult_steal_scan + steal_penalty, [this, v, stolen] {
         const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
                                      (stolen->resume_check
                                           ? backend_->ResumeCheckOverhead()
@@ -308,8 +364,7 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
       owner = v;
     }
   }
-  for (int k = 1; k < num_vcpus(); ++k) {
-    Vcpu* victim = vcpus_[static_cast<size_t>((v->index + k) % num_vcpus())].get();
+  for (Vcpu* victim : StealOrder(v)) {
     for (Tcb* t : victim->ready) {
       if (best == nullptr || t->priority > best->priority) {
         best = t;
@@ -332,7 +387,7 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
                          (best->resume_check ? backend_->ResumeCheckOverhead() : 0);
   if (owner != v) {
     ++counters_.steals;
-    charge += kernel_->costs().ult_steal_scan;
+    charge += kernel_->costs().ult_steal_scan + NoteSteal(v, owner);
     if (TraceOn()) {
       TraceUlt(trace::Kind::kUltSteal, v->proc()->id(),
                static_cast<uint64_t>(v->index), static_cast<uint64_t>(owner->index));

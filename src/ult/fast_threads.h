@@ -51,6 +51,12 @@ struct UltCounters {
   // Threads made ready during an idle transition, parked on the
   // transitioning vcpu's list for its end-of-downcall re-check.
   int64_t idle_handoffs = 0;
+  // Locality split of `steals`, classified against the machine topology.
+  // Counted whenever the machine is hierarchical — with or without
+  // locality_aware_stealing — so ablations can compare steal distance across
+  // policies.  Both stay zero on a flat machine.
+  int64_t steals_same_socket = 0;
+  int64_t steals_cross_socket = 0;
 };
 
 class FastThreads {
@@ -178,7 +184,15 @@ class FastThreads {
   Tcb* AllocTcb(Vcpu* v, rt::WorkThread* w);
   void FreeTcb(Vcpu* v, Tcb* t);
   Tcb* PopLocal(Vcpu* v);
-  Tcb* Steal(Vcpu* v);
+  // Steals a thread for `v`; adds any cross-socket migration penalty to
+  // `*penalty` (never charged on flat machines).
+  Tcb* Steal(Vcpu* v, sim::Duration* penalty);
+  // Victim scan order: the Section 4.2 rotation, with same-socket victims
+  // partitioned to the front under locality_aware_stealing.
+  std::vector<Vcpu*> StealOrder(Vcpu* v);
+  // Classifies a successful steal by topology distance (counters + trace);
+  // returns the virtual-time penalty to fold into the thief's steal charge.
+  sim::Duration NoteSteal(Vcpu* thief, Vcpu* victim);
 
   // Post-halt processor handback: detach the dead space's context from v's
   // processor and give the kernel a dispatch point, where it either consumes

@@ -126,6 +126,24 @@ TEST(Samples, SingleValue) {
   EXPECT_DOUBLE_EQ(s.Percentile(99), 42.0);
 }
 
+// Regression: Percentile/Median used to be non-const (the lazy sort mutated
+// the object), forcing report code to hold non-const references or copy the
+// sample set.  The sort is a cache; a const Samples must answer quantiles.
+TEST(Samples, PercentilesAreCallableOnConstObjects) {
+  Samples s;
+  for (int i = 10; i >= 1; --i) {  // reverse order: the const call must sort
+    s.Add(i);
+  }
+  const Samples& cs = s;
+  EXPECT_NEAR(cs.Median(), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cs.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(cs.Percentile(100), 10.0);
+  // Adding after a const query invalidates the cache; both views stay exact.
+  s.Add(11);
+  EXPECT_DOUBLE_EQ(cs.Percentile(100), 11.0);
+  EXPECT_NEAR(cs.Median(), 6.0, 1e-9);
+}
+
 // ---- table ----
 
 TEST(Table, RendersHeaderAndAlignment) {

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/kern/kernel.h"
 #include "src/kern/proc_alloc.h"
+#include "src/kern/sa_iface.h"
 #include "src/rt/harness.h"
 #include "src/rt/topaz_runtime.h"
 
@@ -29,6 +31,23 @@ class AllocatorTest : public ::testing::Test {
   hw::Machine machine_;
   std::unique_ptr<Kernel> kernel_;
 };
+
+TEST_F(AllocatorTest, NoRegisteredSpacesYieldsEmptyTargets) {
+  EXPECT_TRUE(Targets().empty());
+  // Rebalancing an empty machine must be a no-op, not a crash; the free
+  // pool keeps every processor.
+  kernel_->allocator()->Rebalance();
+  EXPECT_EQ(kernel_->allocator()->num_free(), 6);
+}
+
+TEST_F(AllocatorTest, DemandExceedingTheMachineIsCappedAtMachineSize) {
+  AddressSpace* a = NewSpace("a");
+  a->set_desired_processors(100);
+  EXPECT_EQ(Targets(), (std::vector<int>{6}));
+  AddressSpace* b = NewSpace("b");
+  b->set_desired_processors(100);
+  EXPECT_EQ(Targets(), (std::vector<int>{3, 3}));
+}
 
 TEST_F(AllocatorTest, EvenSplitBetweenTwoEagerSpaces) {
   AddressSpace* a = NewSpace("a");
@@ -150,6 +169,90 @@ TEST(AllocatorDynamics, FreedProcessorsAreRegranted) {
   EXPECT_EQ(b.address_space()->assigned().size(), 2u);
   const sim::Time elapsed = h.Run();
   EXPECT_LT(sim::ToMsec(elapsed), 45.0);  // B's two threads overlapped
+}
+
+// ---- allocation affinity (DESIGN.md §13) ----
+
+// No-op scheduler-activation hooks: lets the allocator grant and revoke
+// without the upcall machinery, so the tests below drive it synchronously.
+class StubSaSpace : public SaSpaceIface {
+ public:
+  void OnProcessorGranted(hw::Processor*) override {}
+  void OnProcessorRevoked(hw::Processor*, KThread*) override {}
+  void OnThreadBlockedInKernel(KThread*, hw::Processor*) override {}
+  void OnThreadUnblockedInKernel(KThread*) override {}
+  void OnUpcallProcessorReady(hw::Processor*, KThread*) override {}
+  int OnSpaceReaped() override { return 0; }
+};
+
+// A revocation burst pushes both spaces' processors through the free pool
+// within one rebalance — the regrant then chooses among several candidates
+// with different previous owners.  The locality-blind pool is LIFO, so with
+// the burst ordered to free a's processor before b's, a is regranted b's
+// processor (cache-cold).  affinity_allocation prefers each space's own.
+class AffinityRegrantTest : public ::testing::Test {
+ protected:
+  explicit AffinityRegrantTest() = default;
+
+  void Init(bool affinity) {
+    Config config;
+    config.mode = KernelMode::kSchedulerActivations;
+    config.affinity_allocation = affinity;
+    kernel_ = std::make_unique<Kernel>(&machine_, config);
+    a_ = kernel_->CreateAddressSpace("a", AsMode::kSchedulerActivations, 0);
+    b_ = kernel_->CreateAddressSpace("b", AsMode::kSchedulerActivations, 0);
+    a_->set_sa(&stub_);
+    b_->set_sa(&stub_);
+    ProcessorAllocator* alloc = kernel_->allocator();
+    alloc->SetDesired(a_, 1);  // a gets the newest free processor (p2)
+    alloc->SetDesired(b_, 1);  // b gets p1; p0 stays free
+    ASSERT_EQ(a_->assigned().size(), 1u);
+    ASSERT_EQ(b_->assigned().size(), 1u);
+    a_proc_ = a_->assigned()[0]->id();
+    b_proc_ = b_->assigned()[0]->id();
+    ASSERT_NE(a_proc_, b_proc_);
+  }
+
+  // Revokes both owned processors and lets the rebalance regrant them.
+  // Seed 3 orders the burst to free a's processor first, leaving b's on top
+  // of the pool — the order that exposes the blind policy's cold regrant.
+  void Storm() {
+    common::Rng rng(3);
+    EXPECT_EQ(kernel_->allocator()->InjectRevocations(2, rng), 2);
+  }
+
+  hw::Machine machine_{3, 1};
+  StubSaSpace stub_;
+  std::unique_ptr<Kernel> kernel_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+  int a_proc_ = -1;
+  int b_proc_ = -1;
+};
+
+TEST_F(AffinityRegrantTest, BlindRegrantIsCacheCold) {
+  Init(/*affinity=*/false);
+  Storm();
+  // Both spaces are running again, but on swapped (cache-cold) processors.
+  ASSERT_EQ(a_->assigned().size(), 1u);
+  EXPECT_EQ(a_->assigned()[0]->id(), b_proc_);
+  const auto stats = kernel_->allocator()->stats_for(a_);
+  EXPECT_EQ(stats.warm_grants, 0);
+  EXPECT_EQ(stats.cold_grants, 2);  // boot grant + the swapped regrant
+}
+
+TEST_F(AffinityRegrantTest, AffinityRegrantReturnsTheWarmProcessor) {
+  Init(/*affinity=*/true);
+  Storm();
+  ASSERT_EQ(a_->assigned().size(), 1u);
+  EXPECT_EQ(a_->assigned()[0]->id(), a_proc_);
+  ASSERT_EQ(b_->assigned().size(), 1u);
+  EXPECT_EQ(b_->assigned()[0]->id(), b_proc_);
+  const auto a_stats = kernel_->allocator()->stats_for(a_);
+  EXPECT_EQ(a_stats.warm_grants, 1);  // the regrant came back warm
+  EXPECT_EQ(a_stats.cold_grants, 1);  // only the boot grant was cold
+  const auto b_stats = kernel_->allocator()->stats_for(b_);
+  EXPECT_EQ(b_stats.warm_grants, 1);
 }
 
 }  // namespace

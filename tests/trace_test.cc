@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/apps/experiments.h"
 #include "src/trace/chrome_export.h"
 #include "src/trace/histogram.h"
@@ -69,6 +71,61 @@ TEST(Histogram, QuantilesAndMerge) {
   b.Merge(a);
   EXPECT_EQ(b.count(), 101u);
   EXPECT_EQ(b.min(), 500);
+}
+
+// Regression: bucket b holds [2^(b-1), 2^b - 1], so a quantile that lands in
+// bucket b must report at most 2^b - 1.  The old UpperBound returned 2^b —
+// the *first value of the next bucket* — over-reporting by up to 2x (100
+// samples of 3 reported a median of 4).
+TEST(Histogram, QuantileNeverExceedsTheBucketItLandsIn) {
+  trace::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(3);
+  }
+  EXPECT_LE(h.Quantile(0.5), 3);
+  EXPECT_GE(h.Quantile(0.5), 2);  // still within value 3's bucket [2, 3]
+  EXPECT_LE(h.Quantile(0.99), 3);
+
+  // A power of two sits at the *bottom* of its bucket [2^k, 2^(k+1) - 1];
+  // the reported quantile must stay below the next power of two.
+  trace::LatencyHistogram p;
+  for (int i = 0; i < 10; ++i) {
+    p.Add(1024);
+  }
+  EXPECT_GE(p.Quantile(0.5), 1024);
+  EXPECT_LT(p.Quantile(0.5), 2048);
+}
+
+// Regression: the overflow bucket (index 63) used to compute 1 << 63 —
+// undefined behaviour that in practice produced a *negative* quantile.  Its
+// bound now saturates and the global max clamps it to an observed value.
+TEST(Histogram, OverflowBucketQuantileIsSaneAndPositive) {
+  trace::LatencyHistogram h;
+  const int64_t huge = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 4; ++i) {
+    h.Add(huge);
+  }
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_GT(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Quantile(0.99), huge);
+}
+
+// Regression: summing a few INT64_MAX samples used to wrap sum_ negative
+// (signed overflow, UB) and report a negative mean.  The sum now saturates.
+TEST(Histogram, SumSaturatesInsteadOfWrapping) {
+  trace::LatencyHistogram h;
+  const int64_t huge = std::numeric_limits<int64_t>::max();
+  h.Add(huge);
+  h.Add(huge);
+  EXPECT_GT(h.mean(), 0);
+
+  // Merging two saturated histograms must not wrap either.
+  trace::LatencyHistogram other;
+  other.Add(huge);
+  other.Add(huge);
+  h.Merge(other);
+  EXPECT_GT(h.mean(), 0);
+  EXPECT_EQ(h.count(), 4u);
 }
 
 TEST(Invariants, CleanTracePasses) {
