@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/apps/experiments.h"
 #include "src/common/table.h"
 #include "src/rt/harness.h"
@@ -44,6 +45,7 @@ double RunIoHeavySeconds(bool recycle) {
 }  // namespace sa
 
 int main() {
+  sa::bench::WarnIfDebugBuild("bench_ablation");
   using sa::apps::SystemKind;
   using sa::common::Table;
   sa::apps::DaemonConfig daemons;

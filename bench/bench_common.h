@@ -1,0 +1,41 @@
+// Shared helpers for bench mains.
+//
+// Benchmarks measured in *virtual* time are insensitive to the build type,
+// but anything reporting wall-clock numbers (bench_fibers_native,
+// bench_alloc_scale) is meaningless from an unoptimized build — the
+// BENCH_fibers_native.json debacle was a debug-build baseline checked in as
+// if it were real.  Every bench main calls WarnIfDebugBuild() so a debug run
+// is loud on stderr, and every JSON emitter tags its output with
+// kBuildType so a reader (or CI diff) can reject mislabeled baselines.
+
+#ifndef SA_BENCH_BENCH_COMMON_H_
+#define SA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+namespace sa::bench {
+
+#ifdef NDEBUG
+inline constexpr bool kDebugBuild = false;
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr bool kDebugBuild = true;
+inline constexpr const char* kBuildType = "debug";
+#endif
+
+// Prints a loud stderr warning when the binary was compiled without NDEBUG.
+// Returns true iff this is a debug build, so callers can also tag output.
+inline bool WarnIfDebugBuild(const char* bench_name) {
+  if (kDebugBuild) {
+    std::fprintf(stderr,
+                 "%s: WARNING: this is a DEBUG build (assertions on, no "
+                 "optimization); wall-clock timings are not comparable and "
+                 "must not be checked in as a baseline\n",
+                 bench_name);
+  }
+  return kDebugBuild;
+}
+
+}  // namespace sa::bench
+
+#endif  // SA_BENCH_BENCH_COMMON_H_

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <thread>
 
+#include "bench/bench_common.h"
 #include "src/fibers/fiber_pool.h"
 
 namespace {
@@ -240,4 +241,18 @@ BENCHMARK(BM_MultiSemSignalWait)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with one addition: these are *wall-clock*
+// numbers, so a debug build both warns on stderr and tags the JSON context
+// (google-benchmark's own library_build_type field describes the benchmark
+// library, not this binary).
+int main(int argc, char** argv) {
+  sa::bench::WarnIfDebugBuild("bench_fibers_native");
+  benchmark::AddCustomContext("app_build_type", sa::bench::kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,10 +10,12 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/apps/experiments.h"
 #include "src/common/table.h"
 
 int main() {
+  sa::bench::WarnIfDebugBuild("bench_fig2");
   using sa::apps::SystemKind;
   using sa::common::Table;
 

@@ -16,6 +16,7 @@
 #include <iterator>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/common/table.h"
 #include "src/rt/harness.h"
 #include "src/rt/report.h"
@@ -100,7 +101,8 @@ void WriteJson(const std::string& path, const Cell (&cells)[4]) {
     std::perror("bench_locality: fopen");
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"locality\",\n  \"cells\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"locality\",\n  \"build_type\": \"%s\",\n  \"cells\": [\n",
+               bench::kBuildType);
   for (size_t i = 0; i < 4; ++i) {
     const Cell& c = cells[i];
     const kern::KernelCounters& kc = c.report.counters;
@@ -129,6 +131,7 @@ void WriteJson(const std::string& path, const Cell (&cells)[4]) {
 }  // namespace sa
 
 int main(int argc, char** argv) {
+  sa::bench::WarnIfDebugBuild("bench_locality");
   bool smoke = false;
   std::string out_path = "BENCH_locality.json";
   for (int i = 1; i < argc; ++i) {

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/apps/micro.h"
 #include "src/common/table.h"
 #include "src/rt/harness.h"
@@ -57,6 +58,7 @@ double RunKernel(Bench bench, int n, bool heavyweight) {
 }  // namespace sa
 
 int main() {
+  sa::bench::WarnIfDebugBuild("bench_table1");
   using sa::common::Table;
   constexpr int kIters = 20000;
   constexpr int kProcIters = 2000;

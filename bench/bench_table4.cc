@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/apps/micro.h"
 #include "src/common/table.h"
 #include "src/rt/harness.h"
@@ -61,6 +62,7 @@ double RunKernel(Bench bench, int n, bool heavyweight) {
 }  // namespace sa
 
 int main() {
+  sa::bench::WarnIfDebugBuild("bench_table4");
   using sa::common::Table;
   using sa::ult::BackendKind;
   constexpr int kIters = 20000;

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/apps/micro.h"
 #include "src/common/table.h"
 #include "src/rt/harness.h"
@@ -48,6 +49,7 @@ double RunTopazSignalWait(int iters) {
 }  // namespace sa
 
 int main() {
+  sa::bench::WarnIfDebugBuild("bench_upcall");
   using sa::common::Table;
   constexpr int kIters = 5000;
 

@@ -71,6 +71,14 @@ class IntrusiveList {
     --size_;
   }
 
+  // The element linked before `element`, or nullptr if it is the front.
+  // Enables back-to-front walks (most recent first) without a reverse
+  // iterator; the caller must read Prev before unlinking `element`.
+  T* Prev(T* element) const {
+    ListNode* node = (element->*Member).prev;
+    return node == &head_ ? nullptr : FromNode(node);
+  }
+
   bool Contains(const T* element) const { return (element->*Member).linked(); }
 
   // Range-for support.

@@ -7,7 +7,7 @@ Machine::Machine(int num_processors, uint64_t seed)
 
 Machine::Machine(int num_processors, uint64_t seed, const TopologyConfig& topology)
     : topology_(topology, num_processors), rng_(seed) {
-  SA_CHECK_MSG(num_processors >= 1 && num_processors <= 64,
+  SA_CHECK_MSG(num_processors >= 1 && num_processors <= 512,
                "processor count out of supported range");
   processors_.reserve(static_cast<size_t>(num_processors));
   for (int i = 0; i < num_processors; ++i) {

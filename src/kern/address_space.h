@@ -46,6 +46,15 @@ enum class TeardownCause {
 const char* AsLifecycleName(AsLifecycle s);
 const char* TeardownCauseName(TeardownCause c);
 
+// Per-space grant classification and migration counters, surfaced through
+// ProcessorAllocator::stats_for().  Counted regardless of policy flags
+// (bookkeeping only; never affects placement).
+struct SpaceAllocStats {
+  int64_t warm_grants = 0;  // processor's last owner was this space
+  int64_t cold_grants = 0;  // last owned by another space, or never owned
+  int64_t migrations = 0;   // this space's threads changed processor
+};
+
 class AddressSpace {
  public:
   AddressSpace(int id, std::string name, AsMode mode, int priority)
@@ -124,7 +133,27 @@ class AddressSpace {
   // Live-thread accounting used by the kernel-thread demand estimate.
   int runnable_threads = 0;  // ready + running (kKernelThreads spaces)
 
+  // --- allocator-private bookkeeping (owned by kern::ProcessorAllocator) ---
+  // Lives on the space so the allocator's hot paths are plain field loads
+  // instead of hash-map lookups.  Mutable because stats accrue through
+  // const pointers (stats_for / NoteSpaceMigration).
+  struct AllocState {
+    int index = -1;           // slot in the allocator's dense registry (-1 = unregistered)
+    int pending_revokes = 0;  // revocations in flight
+    int demand = 0;           // demand the allocator's tier aggregates reflect
+    int target = 0;           // cached fair-share target (incremental policy)
+    int heap_deficit = 0;     // deficit key under which this space sits in the heap
+    bool in_heap = false;     // member of the deficit heap
+    bool in_surplus = false;  // member of the surplus index
+    bool needy = false;       // counted in the allocator's needy tally
+    bool pending_refresh = false;  // queued in its tier's changed list
+    SpaceAllocStats stats;
+    std::vector<int> socket_held;  // processors held per socket (affinity)
+  };
+  AllocState& alloc_state() const { return alloc_state_; }
+
  private:
+  mutable AllocState alloc_state_;
   const int id_;
   const std::string name_;
   const AsMode mode_;

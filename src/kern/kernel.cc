@@ -113,6 +113,9 @@ void Kernel::AssignProcessor(hw::Processor* proc, AddressSpace* as) {
   as->AddAssigned(proc);
   engine().TraceEmit(trace::cat::kAlloc, trace::Kind::kProcGrant, proc->id(),
                      as->id(), static_cast<uint64_t>(as->assigned().size()));
+  if (allocator_ != nullptr) {
+    allocator_->OnAssignedChanged(as, proc, +1);
+  }
 }
 
 void Kernel::UnassignProcessor(hw::Processor* proc) {
@@ -122,6 +125,9 @@ void Kernel::UnassignProcessor(hw::Processor* proc) {
   owner_[static_cast<size_t>(proc->id())] = nullptr;
   engine().TraceEmit(trace::cat::kAlloc, trace::Kind::kProcRevoke, proc->id(),
                      as->id(), static_cast<uint64_t>(as->assigned().size()));
+  if (allocator_ != nullptr) {
+    allocator_->OnAssignedChanged(as, proc, -1);
+  }
   if (as->reaped()) {
     reaper_->NoteProcessorDetached(as);
   }

@@ -13,18 +13,101 @@ namespace {
 constexpr const char* kLog = "alloc";
 }  // namespace
 
-ProcessorAllocator::ProcessorAllocator(Kernel* kernel) : kernel_(kernel) {}
+ProcessorAllocator::ProcessorAllocator(Kernel* kernel)
+    : kernel_(kernel), num_processors_(kernel->machine()->num_processors()) {}
 
-void ProcessorAllocator::RegisterSpace(AddressSpace* as) {
-  spaces_.push_back(as);
-  pending_revokes_[as->id()] = 0;
+bool ProcessorAllocator::use_incremental() const {
+  // Affinity ties same-priority shares to current holdings (incumbents get
+  // leftovers), so targets shift as grants land and caching them is invalid;
+  // the affinity policy stays on the rescan path.
+  return !reference_oracle_ && !kernel_->config().affinity_allocation;
 }
 
-void ProcessorAllocator::AddFree(hw::Processor* proc) { free_.push_back(proc); }
+int ProcessorAllocator::Clamp(int demand) const {
+  // Every water-fill comparison is against a share <= P, so demands above
+  // the machine size are interchangeable; clamping to P+1 bounds the
+  // Fenwick domain.
+  return demand < num_processors_ + 1 ? demand : num_processors_ + 1;
+}
 
-int ProcessorAllocator::PendingRevokes(const AddressSpace* as) const {
-  auto it = pending_revokes_.find(as->id());
-  return it == pending_revokes_.end() ? 0 : it->second;
+ProcessorAllocator::Tier& ProcessorAllocator::TierOf(const AddressSpace* as) {
+  auto it = tiers_.find(as->priority());
+  SA_CHECK(it != tiers_.end());
+  return it->second;
+}
+
+void ProcessorAllocator::FenwickAdd(Tier& tier, int demand, int dcnt, int64_t dsum) {
+  for (int i = demand; i <= num_processors_ + 1; i += i & -i) {
+    tier.cnt[static_cast<size_t>(i)] += dcnt;
+    tier.sum[static_cast<size_t>(i)] += dsum;
+  }
+}
+
+void ProcessorAllocator::FenwickPrefix(const Tier& tier, int demand, int* cnt,
+                                       int64_t* sum) const {
+  int c = 0;
+  int64_t s = 0;
+  for (int i = demand; i > 0; i -= i & -i) {
+    c += tier.cnt[static_cast<size_t>(i)];
+    s += tier.sum[static_cast<size_t>(i)];
+  }
+  *cnt = c;
+  *sum = s;
+}
+
+void ProcessorAllocator::RegisterSpace(AddressSpace* as) {
+  AddressSpace::AllocState& st = as->alloc_state();
+  SA_CHECK(st.index < 0);
+  st.index = static_cast<int>(spaces_.size());
+  spaces_.push_back(as);
+  by_id_[as->id()] = as;
+  if (!as->assigned().empty()) {
+    holders_[as->id()] = as;
+  }
+  Tier& tier = tiers_[as->priority()];
+  if (tier.cnt.empty()) {
+    tier.cnt.assign(static_cast<size_t>(num_processors_) + 2, 0);
+    tier.sum.assign(static_cast<size_t>(num_processors_) + 2, 0);
+  }
+  tier.by_id[as->id()] = as;
+  ++tier.members;
+  st.demand = 0;
+  if (as->desired_processors() != 0) {
+    RecordDemand(as);
+  }
+}
+
+void ProcessorAllocator::AddFree(hw::Processor* proc) { free_.PushBack(proc); }
+
+void ProcessorAllocator::RecordDemand(AddressSpace* as) {
+  AddressSpace::AllocState& st = as->alloc_state();
+  const int desired = as->desired_processors();
+  if (st.demand == desired) {
+    return;
+  }
+  Tier& tier = TierOf(as);
+  if (st.demand > 0) {
+    FenwickAdd(tier, Clamp(st.demand), -1, -Clamp(st.demand));
+    --tier.active;
+  }
+  if (desired > 0) {
+    FenwickAdd(tier, Clamp(desired), +1, +Clamp(desired));
+    ++tier.active;
+  }
+  st.demand = desired;
+  tier.dirty = true;
+  if (!st.pending_refresh) {
+    st.pending_refresh = true;
+    tier.changed.push_back(as);
+  }
+}
+
+void ProcessorAllocator::SyncDemands() {
+  for (AddressSpace* as : spaces_) {
+    if (as->alloc_state().demand != as->desired_processors()) {
+      RecordDemand(as);
+    }
+  }
 }
 
 void ProcessorAllocator::SetDesired(AddressSpace* as, int desired) {
@@ -32,47 +115,51 @@ void ProcessorAllocator::SetDesired(AddressSpace* as, int desired) {
   if (as->desired_processors() == desired) {
     return;
   }
+  ++decisions_;
   as->set_desired_processors(desired);
+  if (IsRegistered(as)) {
+    RecordDemand(as);
+  }
   SA_DEBUG(kLog, "space %s now wants %d processors", as->name().c_str(), desired);
-  Rebalance();
+  RebalanceInternal();
 }
 
-std::vector<int> ProcessorAllocator::ComputeTargets() const {
+// ---------------------------------------------------------------------------
+// Target computation.
+// ---------------------------------------------------------------------------
+
+std::vector<int> ProcessorAllocator::ComputeTargetsReference() const {
   // Spaces are processed a priority tier at a time (highest first).  Within
   // a tier, processors are divided evenly; a space that wants less than its
   // even share is capped at its demand and the surplus is re-divided among
   // the rest of the tier (the paper's space-sharing policy, Section 4.1).
+  // Tier membership iterates in space-id order — the registration order the
+  // original dense-array implementation walked — so results are independent
+  // of the swap-removals the dense registry undergoes on release.
   std::vector<int> target(spaces_.size(), 0);
-  int remaining = kernel_->machine()->num_processors();
+  int remaining = num_processors_;
 
-  std::vector<int> priorities;
-  for (const AddressSpace* as : spaces_) {
-    priorities.push_back(as->priority());
-  }
-  std::sort(priorities.begin(), priorities.end(), std::greater<int>());
-  priorities.erase(std::unique(priorities.begin(), priorities.end()), priorities.end());
-
-  for (int prio : priorities) {
+  for (const auto& [prio, t] : tiers_) {
     if (remaining == 0) {
       break;
     }
-    std::vector<size_t> tier;
-    for (size_t i = 0; i < spaces_.size(); ++i) {
-      if (spaces_[i]->priority() == prio && spaces_[i]->desired_processors() > 0) {
-        tier.push_back(i);
+    std::vector<int> tier;  // alloc-registry indexes, in space-id order
+    for (const auto& [id, as] : t.by_id) {
+      if (as->desired_processors() > 0) {
+        tier.push_back(as->alloc_state().index);
       }
     }
     if (tier.empty()) {
       continue;
     }
     // Iterate: cap satisfied spaces at their demand, re-split the rest.
-    std::vector<size_t> open = tier;
+    std::vector<int> open = tier;
     int pool = remaining;
     while (!open.empty() && pool > 0) {
       const int share = pool / static_cast<int>(open.size());
       bool capped_any = false;
       for (auto it = open.begin(); it != open.end();) {
-        const size_t i = *it;
+        const size_t i = static_cast<size_t>(*it);
         const int want = spaces_[i]->desired_processors() - target[i];
         if (want <= share) {
           target[i] += want;
@@ -92,16 +179,17 @@ std::vector<int> ProcessorAllocator::ComputeTargets() const {
       // come first — a leftover that stays put forces no migration; the
       // stable sort keeps id order among equals.
       if (kernel_->config().affinity_allocation) {
-        std::stable_sort(open.begin(), open.end(), [this](size_t a, size_t b) {
-          return spaces_[a]->assigned().size() > spaces_[b]->assigned().size();
+        std::stable_sort(open.begin(), open.end(), [this](int a, int b) {
+          return spaces_[static_cast<size_t>(a)]->assigned().size() >
+                 spaces_[static_cast<size_t>(b)]->assigned().size();
         });
       }
-      for (size_t i : open) {
-        target[i] += share;
+      for (int i : open) {
+        target[static_cast<size_t>(i)] += share;
         pool -= share;
       }
       for (auto it = open.begin(); it != open.end() && pool > 0; ++it) {
-        target[*it] += 1;
+        target[static_cast<size_t>(*it)] += 1;
         --pool;
       }
       open.clear();
@@ -111,7 +199,186 @@ std::vector<int> ProcessorAllocator::ComputeTargets() const {
   return target;
 }
 
+std::vector<int> ProcessorAllocator::ComputeTargets() {
+  if (!use_incremental()) {
+    return ComputeTargetsReference();
+  }
+  SyncDemands();
+  RefreshTargets();
+  std::vector<int> target(spaces_.size(), 0);
+  for (const AddressSpace* as : spaces_) {
+    target[static_cast<size_t>(as->alloc_state().index)] = as->alloc_state().target;
+  }
+  return target;
+}
+
+void ProcessorAllocator::RefreshTargets() {
+  int pool = num_processors_;
+  for (auto& [prio, tier] : tiers_) {
+    if (!tier.dirty && tier.pool_in == pool) {
+      pool = tier.pool_out;
+      continue;
+    }
+    RefreshTier(tier, pool);
+    pool = tier.pool_out;
+  }
+}
+
+void ProcessorAllocator::RefreshTier(Tier& tier, int pool_in) {
+  // Replay the reference water-fill on aggregates.  Each round offers every
+  // still-open member an even share of the pool and caps those content with
+  // it.  Because the offered share never decreases between rounds, "capped"
+  // is exactly "demand <= the final capping share" — one prefix query per
+  // round gives the capped count and their total demand without touching
+  // members.  The loop runs at most once per distinct capping share.
+  int capped_cnt = 0;
+  int64_t capped_sum = 0;
+  int threshold = 0;
+  int pool = pool_in;
+  for (;;) {
+    const int open = tier.active - capped_cnt;
+    if (open == 0 || pool == 0) {
+      break;
+    }
+    const int share = pool / open;
+    int cnt = 0;
+    int64_t sum = 0;
+    FenwickPrefix(tier, share, &cnt, &sum);
+    if (cnt == capped_cnt) {
+      break;  // nobody newly content: distribute the pool evenly
+    }
+    threshold = share;
+    capped_cnt = cnt;
+    capped_sum = sum;
+    pool = pool_in - static_cast<int>(sum);
+  }
+  const int uncapped = tier.active - capped_cnt;
+  const int share = uncapped > 0 ? pool / uncapped : 0;
+  const int leftover = uncapped > 0 ? pool - share * uncapped : 0;
+  const int pool_out = uncapped > 0 ? 0 : pool;
+
+  // If the division summary is unchanged and every changed member sits
+  // strictly above the capping threshold (uncapped then, uncapped now), no
+  // member's target moved: capped members' demands are unchanged (their sum
+  // and count match) and the uncapped membership — hence each member's
+  // id-rank and leftover eligibility — is identical.
+  bool unchanged = tier.pool_in == pool_in && tier.threshold == threshold &&
+                   tier.share == share && tier.leftover == leftover &&
+                   tier.capped_cnt == capped_cnt && tier.capped_sum == capped_sum &&
+                   tier.uncapped == uncapped;
+  if (unchanged) {
+    for (const AddressSpace* as : tier.changed) {
+      const int d = as->alloc_state().demand;
+      if (d <= 0 || Clamp(d) <= threshold) {
+        unchanged = false;
+        break;
+      }
+    }
+  }
+  if (!unchanged) {
+    int rank = 0;
+    for (auto& [id, as] : tier.by_id) {
+      const int d = as->alloc_state().demand;
+      int t = 0;
+      if (d > 0) {
+        if (Clamp(d) <= threshold) {
+          t = d;
+        } else {
+          t = share + (rank < leftover ? 1 : 0);
+          ++rank;
+        }
+      }
+      ApplyTarget(as, t);
+    }
+  }
+  for (AddressSpace* as : tier.changed) {
+    as->alloc_state().pending_refresh = false;
+  }
+  tier.changed.clear();
+  tier.dirty = false;
+  tier.pool_in = pool_in;
+  tier.pool_out = pool_out;
+  tier.threshold = threshold;
+  tier.share = share;
+  tier.leftover = leftover;
+  tier.capped_cnt = capped_cnt;
+  tier.capped_sum = capped_sum;
+  tier.uncapped = uncapped;
+}
+
+void ProcessorAllocator::ApplyTarget(AddressSpace* as, int target) {
+  if (as->alloc_state().target != target) {
+    as->alloc_state().target = target;
+    RefreshDerived(as);
+  }
+}
+
+void ProcessorAllocator::RefreshDerived(AddressSpace* as) {
+  AddressSpace::AllocState& st = as->alloc_state();
+  if (st.index < 0 || !use_incremental()) {
+    return;
+  }
+  const int assigned = static_cast<int>(as->assigned().size());
+  const int deficit = st.target - assigned;
+  if (st.in_heap && (deficit <= 0 || deficit != st.heap_deficit)) {
+    deficit_heap_.erase({-as->priority(), -st.heap_deficit, as->id()});
+    st.in_heap = false;
+  }
+  if (deficit > 0 && !st.in_heap) {
+    deficit_heap_.insert({-as->priority(), -deficit, as->id()});
+    st.in_heap = true;
+    st.heap_deficit = deficit;
+  }
+  const int have = assigned - st.pending_revokes;
+  const bool in_surplus = have > st.target;
+  if (in_surplus != st.in_surplus) {
+    if (in_surplus) {
+      surplus_.insert(as->id());
+    } else {
+      surplus_.erase(as->id());
+    }
+    st.in_surplus = in_surplus;
+  }
+  const bool needy = have < st.target;
+  if (needy != st.needy) {
+    needy_ += needy ? 1 : -1;
+    st.needy = needy;
+  }
+}
+
+void ProcessorAllocator::NotePendingDelta(AddressSpace* as, int delta) {
+  as->alloc_state().pending_revokes += delta;
+  RefreshDerived(as);
+}
+
+void ProcessorAllocator::OnAssignedChanged(AddressSpace* as, hw::Processor* proc,
+                                           int delta) {
+  AddressSpace::AllocState& st = as->alloc_state();
+  const hw::Topology& topo = kernel_->machine()->topology();
+  if (st.socket_held.empty()) {
+    st.socket_held.assign(static_cast<size_t>(topo.num_sockets()), 0);
+  }
+  st.socket_held[static_cast<size_t>(topo.SocketOf(proc->id()))] += delta;
+  if (st.index >= 0) {
+    if (delta > 0 && as->assigned().size() == 1) {
+      holders_[as->id()] = as;
+    } else if (delta < 0 && as->assigned().empty()) {
+      holders_.erase(as->id());
+    }
+  }
+  RefreshDerived(as);
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancing.
+// ---------------------------------------------------------------------------
+
 void ProcessorAllocator::Rebalance() {
+  SyncDemands();
+  RebalanceInternal();
+}
+
+void ProcessorAllocator::RebalanceInternal() {
   if (rebalancing_) {
     rerun_ = true;
     return;
@@ -119,52 +386,73 @@ void ProcessorAllocator::Rebalance() {
   rebalancing_ = true;
   do {
     rerun_ = false;
-    const std::vector<int> target = ComputeTargets();
-
-    // Revocation pass: spaces above target give up their most recently
-    // granted processors (but only if some other space will use them).
-    bool someone_needs = false;
-    for (size_t i = 0; i < spaces_.size(); ++i) {
-      const int have = static_cast<int>(spaces_[i]->assigned().size()) -
-                       PendingRevokes(spaces_[i]);
-      if (have < target[i]) {
-        someone_needs = true;
-        break;
+    if (use_incremental()) {
+      RefreshTargets();
+      // Revocation pass: spaces above target give up processors, but only
+      // if some other space will use them.  Targets stay fixed for the
+      // pass (demand changes re-enter via rerun_), so walking a snapshot
+      // of the surplus index in id order visits exactly the spaces the
+      // full scan would have revoked from.
+      if (needy_ > 0 && !surplus_.empty()) {
+        const std::vector<int> ids(surplus_.begin(), surplus_.end());
+        for (int id : ids) {
+          auto it = by_id_.find(id);
+          if (it != by_id_.end()) {
+            RevokeSurplus(it->second, it->second->alloc_state().target);
+          }
+        }
       }
-    }
-    for (size_t i = 0; i < spaces_.size() && someone_needs; ++i) {
-      AddressSpace* as = spaces_[i];
-      int surplus = static_cast<int>(as->assigned().size()) - PendingRevokes(as) - target[i];
-      if (surplus <= 0) {
-        continue;
-      }
-      std::vector<hw::Processor*> candidates = RevocationOrder(as);
-      for (hw::Processor* proc : candidates) {
-        if (surplus == 0) {
+      GrantFreeProcessors();
+    } else {
+      const std::vector<int> target = ComputeTargetsReference();
+      bool someone_needs = false;
+      for (const AddressSpace* as : spaces_) {
+        const int have = static_cast<int>(as->assigned().size()) -
+                         as->alloc_state().pending_revokes;
+        if (have < target[static_cast<size_t>(as->alloc_state().index)]) {
+          someone_needs = true;
           break;
         }
-        if (kernel_->running_on(proc) == nullptr && !proc->has_span()) {
-          // Idle in kernel: reclaim immediately.
-          kernel_->UnassignProcessor(proc);
-          if (as->mode() == AsMode::kSchedulerActivations) {
-            as->sa()->OnProcessorRevoked(proc, nullptr);
-          }
-          free_.push_back(proc);
-          --surplus;
-          continue;
-        }
-        PendingAction action;
-        action.kind = PendingAction::Kind::kRevoke;
-        if (kernel_->RequestPreemption(proc, action)) {
-          ++pending_revokes_[as->id()];
-          --surplus;
+      }
+      if (someone_needs) {
+        for (auto& [id, as] : by_id_) {
+          RevokeSurplus(as, target[static_cast<size_t>(as->alloc_state().index)]);
         }
       }
+      GrantFreeProcessorsReference();
     }
-
-    GrantFreeProcessors();
   } while (rerun_);
   rebalancing_ = false;
+}
+
+void ProcessorAllocator::RevokeSurplus(AddressSpace* as, int target) {
+  int surplus = static_cast<int>(as->assigned().size()) -
+                as->alloc_state().pending_revokes - target;
+  if (surplus <= 0) {
+    return;
+  }
+  const std::vector<hw::Processor*> candidates = RevocationOrder(as);
+  for (hw::Processor* proc : candidates) {
+    if (surplus == 0) {
+      break;
+    }
+    if (kernel_->running_on(proc) == nullptr && !proc->has_span()) {
+      // Idle in kernel: reclaim immediately.
+      kernel_->UnassignProcessor(proc);
+      if (as->mode() == AsMode::kSchedulerActivations) {
+        as->sa()->OnProcessorRevoked(proc, nullptr);
+      }
+      free_.PushBack(proc);
+      --surplus;
+      continue;
+    }
+    PendingAction action;
+    action.kind = PendingAction::Kind::kRevoke;
+    if (kernel_->RequestPreemption(proc, action)) {
+      NotePendingDelta(as, +1);
+      --surplus;
+    }
+  }
 }
 
 void ProcessorAllocator::GrantFreeProcessors() {
@@ -172,14 +460,32 @@ void ProcessorAllocator::GrantFreeProcessors() {
     if (free_.empty()) {
       return;
     }
-    const std::vector<int> target = ComputeTargets();
+    // Demand may have changed synchronously under a grant's upcall (e.g. a
+    // kernel-thread dispatch raising runnable count); dirty tiers refresh
+    // here, mirroring the reference path's per-grant recompute.
+    RefreshTargets();
+    if (deficit_heap_.empty()) {
+      return;  // idle processors stay in the free pool
+    }
+    const int id = std::get<2>(*deficit_heap_.begin());
+    AddressSpace* best = by_id_.find(id)->second;
+    Grant(free_.PopBack(), best);
+  }
+}
+
+void ProcessorAllocator::GrantFreeProcessorsReference() {
+  for (;;) {
+    if (free_.empty()) {
+      return;
+    }
+    const std::vector<int> target = ComputeTargetsReference();
     // Pick the neediest space: highest priority first, then largest deficit,
     // then lowest id (deterministic).
     AddressSpace* best = nullptr;
     int best_deficit = 0;
-    for (size_t i = 0; i < spaces_.size(); ++i) {
-      AddressSpace* as = spaces_[i];
-      const int deficit = target[i] - static_cast<int>(as->assigned().size());
+    for (auto& [id, as] : by_id_) {
+      const int deficit = target[static_cast<size_t>(as->alloc_state().index)] -
+                          static_cast<int>(as->assigned().size());
       if (deficit <= 0) {
         continue;
       }
@@ -199,23 +505,23 @@ void ProcessorAllocator::GrantFreeProcessors() {
     // id tie-break would shuffle them.
     if (kernel_->config().affinity_allocation) {
       bool granted_warm = false;
-      for (size_t i = free_.size(); i-- > 0 && !granted_warm;) {
-        auto prev = last_owner_.find(free_[i]->id());
-        if (prev == last_owner_.end()) {
-          continue;
-        }
-        for (size_t j = 0; j < spaces_.size(); ++j) {
-          AddressSpace* as = spaces_[j];
-          const int deficit = target[j] - static_cast<int>(as->assigned().size());
-          if (as->id() == prev->second && as->priority() == best->priority() &&
-              deficit == best_deficit) {
-            hw::Processor* proc = free_[i];
-            free_.erase(free_.begin() + static_cast<ptrdiff_t>(i));
-            Grant(proc, as);
-            granted_warm = true;
-            break;
+      for (hw::Processor* proc = free_.Back(); proc != nullptr;) {
+        hw::Processor* prev = free_.Prev(proc);
+        if (proc->alloc_last_owner >= 0) {
+          auto owner = by_id_.find(proc->alloc_last_owner);
+          if (owner != by_id_.end()) {
+            AddressSpace* as = owner->second;
+            const int deficit = target[static_cast<size_t>(as->alloc_state().index)] -
+                                static_cast<int>(as->assigned().size());
+            if (as->priority() == best->priority() && deficit == best_deficit) {
+              free_.Remove(proc);
+              Grant(proc, as);
+              granted_warm = true;
+              break;
+            }
           }
         }
+        proc = prev;
       }
       if (granted_warm) {
         continue;
@@ -227,36 +533,30 @@ void ProcessorAllocator::GrantFreeProcessors() {
 
 hw::Processor* ProcessorAllocator::PickFreeProcessor(const AddressSpace* as) {
   SA_CHECK(!free_.empty());
-  size_t pick = free_.size() - 1;  // default policy: most recently freed
+  hw::Processor* pick = free_.Back();  // default policy: most recently freed
   if (kernel_->config().affinity_allocation) {
     const hw::Topology& topo = kernel_->machine()->topology();
-    std::vector<int> held(static_cast<size_t>(topo.num_sockets()), 0);
-    for (const hw::Processor* p : as->assigned()) {
-      ++held[static_cast<size_t>(topo.SocketOf(p->id()))];
-    }
+    const auto& held = as->alloc_state().socket_held;
     // Warm (last owner is this space) dominates; then a socket the space
     // already occupies.  `>=` so ties go to the most recently freed,
     // matching the default policy's choice.
     int best_score = -1;
-    for (size_t i = 0; i < free_.size(); ++i) {
-      const hw::Processor* p = free_[i];
-      auto prev = last_owner_.find(p->id());
+    for (hw::Processor* p : free_) {
       int score = 0;
-      if (prev != last_owner_.end() && prev->second == as->id()) {
+      if (p->alloc_last_owner == as->id()) {
         score += 2;
       }
-      if (held[static_cast<size_t>(topo.SocketOf(p->id()))] > 0) {
+      if (!held.empty() && held[static_cast<size_t>(topo.SocketOf(p->id()))] > 0) {
         score += 1;
       }
       if (score >= best_score) {
         best_score = score;
-        pick = i;
+        pick = p;
       }
     }
   }
-  hw::Processor* proc = free_[pick];
-  free_.erase(free_.begin() + static_cast<ptrdiff_t>(pick));
-  return proc;
+  free_.Remove(pick);
+  return pick;
 }
 
 std::vector<hw::Processor*> ProcessorAllocator::RevocationOrder(
@@ -271,10 +571,7 @@ std::vector<hw::Processor*> ProcessorAllocator::RevocationOrder(
   // Give up stragglers first — processors in sockets where the space holds
   // the fewest — so what remains is socket-compact.  Stable, so recency
   // still decides within a socket-population class.
-  std::vector<int> held(static_cast<size_t>(topo.num_sockets()), 0);
-  for (const hw::Processor* p : as->assigned()) {
-    ++held[static_cast<size_t>(topo.SocketOf(p->id()))];
-  }
+  const std::vector<int>& held = as->alloc_state().socket_held;
   std::stable_sort(order.begin(), order.end(),
                    [&](const hw::Processor* a, const hw::Processor* b) {
                      return held[static_cast<size_t>(topo.SocketOf(a->id()))] <
@@ -283,17 +580,11 @@ std::vector<hw::Processor*> ProcessorAllocator::RevocationOrder(
   return order;
 }
 
-ProcessorAllocator::SpaceStats ProcessorAllocator::stats_for(
-    const AddressSpace* as) const {
-  auto it = stats_.find(as->id());
-  return it == stats_.end() ? SpaceStats{} : it->second;
-}
-
 void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
   SA_DEBUG(kLog, "grant processor %d to %s", proc->id(), as->name().c_str());
-  const auto prev = last_owner_.find(proc->id());
-  const bool warm = prev != last_owner_.end() && prev->second == as->id();
-  SpaceStats& st = stats_[as->id()];
+  const int prev_owner = proc->alloc_last_owner;
+  const bool warm = prev_owner == as->id();
+  SpaceAllocStats& st = as->alloc_state().stats;
   if (warm) {
     ++st.warm_grants;
   } else {
@@ -306,13 +597,13 @@ void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
       kernel_->engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocWarmGrant,
                                   proc->id(), as->id(), socket, 0);
     } else {
-      const uint64_t prev_owner =
-          prev == last_owner_.end() ? 0 : static_cast<uint64_t>(prev->second) + 1;
+      const uint64_t prev_arg =
+          prev_owner < 0 ? 0 : static_cast<uint64_t>(prev_owner) + 1;
       kernel_->engine().TraceEmit(trace::cat::kLocality, trace::Kind::kLocColdGrant,
-                                  proc->id(), as->id(), socket, prev_owner);
+                                  proc->id(), as->id(), socket, prev_arg);
     }
   }
-  last_owner_[proc->id()] = as->id();
+  proc->alloc_last_owner = as->id();
   kernel_->AssignProcessor(proc, as);
   if (as->mode() == AsMode::kSchedulerActivations) {
     as->sa()->OnProcessorGranted(proc);
@@ -322,11 +613,16 @@ void ProcessorAllocator::Grant(hw::Processor* proc, AddressSpace* as) {
 }
 
 int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
+  ++decisions_;
   // Candidates are owned processors only: a free-pool processor has no
   // revocation protocol to exercise (and pushing it to free_ again would
-  // corrupt the pool).
+  // corrupt the pool).  Holder spaces iterate in id order — the registration
+  // order the original implementation walked, minus spaces whose empty
+  // holdings contributed nothing — so seeded storms are reproducible
+  // regardless of release-time swap-removals in the dense registry, and a
+  // storm costs O(processors), not O(spaces).
   std::vector<std::pair<AddressSpace*, hw::Processor*>> owned;
-  for (AddressSpace* as : spaces_) {
+  for (auto& [id, as] : holders_) {
     for (hw::Processor* proc : as->assigned()) {
       owned.emplace_back(as, proc);
     }
@@ -342,49 +638,81 @@ int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
       if (as->mode() == AsMode::kSchedulerActivations) {
         as->sa()->OnProcessorRevoked(proc, nullptr);
       }
-      free_.push_back(proc);
+      free_.PushBack(proc);
       ++revoked;
       continue;
     }
     PendingAction action;
     action.kind = PendingAction::Kind::kRevoke;
     if (kernel_->RequestPreemption(proc, action)) {
-      ++pending_revokes_[as->id()];
+      NotePendingDelta(as, +1);
       ++revoked;
     }
   }
   if (revoked > 0) {
     // The freed/soon-free processors re-enter allocation through the normal
     // path — the churn the storm is meant to exercise.
-    Rebalance();
+    RebalanceInternal();
   }
   return revoked;
 }
 
 void ProcessorAllocator::ReleaseSpace(AddressSpace* as) {
+  ++decisions_;
+  AddressSpace::AllocState& st = as->alloc_state();
+  SA_CHECK(st.index >= 0);
   as->set_desired_processors(0);
-  pending_revokes_.erase(as->id());
-  stats_.erase(as->id());
-  for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
-    if (*it == as) {
-      spaces_.erase(it);
-      break;
-    }
+  RecordDemand(as);  // zero demand leaves the tier aggregates
+  // Drop out of the decision structures.
+  if (st.in_heap) {
+    deficit_heap_.erase({-as->priority(), -st.heap_deficit, as->id()});
+    st.in_heap = false;
+  }
+  if (st.in_surplus) {
+    surplus_.erase(as->id());
+    st.in_surplus = false;
+  }
+  if (st.needy) {
+    --needy_;
+    st.needy = false;
+  }
+  st.pending_revokes = 0;
+  st.target = 0;
+  st.heap_deficit = 0;
+  st.stats = SpaceAllocStats{};
+  // Leave the tier.
+  Tier& tier = TierOf(as);
+  if (st.pending_refresh) {
+    tier.changed.erase(std::find(tier.changed.begin(), tier.changed.end(), as));
+    st.pending_refresh = false;
+  }
+  tier.by_id.erase(as->id());
+  --tier.members;
+  const bool tier_empty = tier.members == 0;
+  // Leave the dense registry: swap-remove, fixing the moved space's slot.
+  AddressSpace* last = spaces_.back();
+  spaces_[static_cast<size_t>(st.index)] = last;
+  last->alloc_state().index = st.index;
+  spaces_.pop_back();
+  st.index = -1;
+  by_id_.erase(as->id());
+  holders_.erase(as->id());
+  if (tier_empty) {
+    tiers_.erase(as->priority());
   }
   SA_DEBUG(kLog, "released space %s; %d spaces remain", as->name().c_str(),
            static_cast<int>(spaces_.size()));
-  Rebalance();
+  RebalanceInternal();
 }
 
 void ProcessorAllocator::OnRevokeComplete(AddressSpace* old_as, hw::Processor* proc) {
-  if (old_as != nullptr) {
-    auto it = pending_revokes_.find(old_as->id());
-    if (it != pending_revokes_.end() && it->second > 0) {
-      --it->second;
-    }
+  ++decisions_;
+  if (old_as != nullptr && IsRegistered(old_as) &&
+      old_as->alloc_state().pending_revokes > 0) {
+    NotePendingDelta(old_as, -1);
   }
-  free_.push_back(proc);
-  Rebalance();
+  free_.PushBack(proc);
+  RebalanceInternal();
 }
 
 }  // namespace sa::kern

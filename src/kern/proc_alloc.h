@@ -16,21 +16,42 @@
 // same-priority spaces; leftover processors are granted whole (deterministic
 // by space id).  The experiments reproduced here use exact divisions.
 //
+// Scaling (DESIGN.md §14): allocation decisions are incremental.  Each
+// priority tier keeps Fenwick-tree aggregates over its members' demands, so
+// the water-filling division is recomputed from aggregates in O(log P) per
+// round instead of rescanning every space; cached per-space targets are
+// re-derived only for tiers whose demand actually changed.  Grants pop a
+// deficit heap keyed (priority, deficit, id); revocations walk a surplus
+// index.  A revocation storm therefore costs O(log n) per processor instead
+// of O(spaces x processors).  The legacy full-rescan policy is preserved as
+// ComputeTargetsReference() and, behind set_reference_oracle(), as a complete
+// decision path; differential fuzzing (alloc_incremental_test) proves the
+// two produce identical targets and identical grant/revoke sequences.
+//
 // Affinity (DESIGN.md §13): with Config::affinity_allocation set, the
 // allocator keeps the paper's *shares* but chooses *which* physical
 // processors change hands with locality in mind: grants prefer a processor's
 // last owning space (warm cache), revocation victims are chosen to keep each
 // space's holdings socket-compact, and leftover shares break ties toward
-// incumbents.  With the flag off (the default) every choice reduces to the
-// original locality-blind policy, byte-identically on seeded traces.
+// incumbents.  Because affinity ties shares to current holdings, targets
+// change as grants land, so the affinity policy runs on the legacy rescan
+// path (with O(1) field bookkeeping).  With the flag off (the default) every
+// choice reduces to the original locality-blind policy, byte-identically on
+// seeded traces.
 
 #ifndef SA_KERN_PROC_ALLOC_H_
 #define SA_KERN_PROC_ALLOC_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <set>
+#include <tuple>
 #include <vector>
 
+#include "src/common/intrusive_list.h"
 #include "src/common/rng.h"
+#include "src/hw/processor.h"
 #include "src/kern/address_space.h"
 
 namespace sa::kern {
@@ -59,42 +80,112 @@ class ProcessorAllocator {
   // The reaper finished tearing `as` down: forget it entirely (demand,
   // in-flight revocation bookkeeping, registration) and rebalance so the
   // survivors divide the machine among themselves.  Revocations of the dead
-  // space still in flight complete harmlessly (OnRevokeComplete tolerates a
-  // missing bookkeeping entry).
+  // space still in flight complete harmlessly (OnRevokeComplete tolerates an
+  // unregistered space).
   void ReleaseSpace(AddressSpace* as);
 
   // Fault injection (DESIGN.md §11): revokes up to `burst` randomly chosen
   // *owned* processors and rebalances, churning allocations through the
   // normal revoke/grant protocol.  Lives here so the in-flight revocation
-  // bookkeeping (`pending_revokes_`) stays exact.  Returns the number of
-  // revocations issued.
+  // bookkeeping stays exact.  Returns the number of revocations issued.
   int InjectRevocations(int burst, common::Rng& rng);
 
   int num_free() const { return static_cast<int>(free_.size()); }
 
-  // Fair-share targets, index-aligned with registered spaces.  Exposed for
-  // tests.
-  std::vector<int> ComputeTargets() const;
+  // Fair-share targets, index-aligned with spaces().  Exposed for tests.
+  // Synchronizes demand bookkeeping first, since tests poke demand directly
+  // through AddressSpace::set_desired_processors.
+  std::vector<int> ComputeTargets();
+
+  // The legacy full-rescan target computation (the Section 4.1 policy as
+  // originally implemented).  Kept verbatim as the differential-fuzz oracle;
+  // index-aligned with spaces().
+  std::vector<int> ComputeTargetsReference() const;
+
   const std::vector<AddressSpace*>& spaces() const { return spaces_; }
+
+  // O(1): is `as` currently registered with the allocator?
+  bool IsRegistered(const AddressSpace* as) const { return as->alloc_state().index >= 0; }
 
   // Per-space grant classification against the processor's previous owner,
   // plus the space's kernel-thread migrations (reported by the kernel's
-  // dispatch paths on hierarchical machines).  Counted regardless of policy
-  // flags (bookkeeping only; never affects placement) so ablations can
-  // compare affinity on/off like with like.
-  struct SpaceStats {
-    int64_t warm_grants = 0;  // processor's last owner was this space
-    int64_t cold_grants = 0;  // last owned by another space, or never owned
-    int64_t migrations = 0;   // this space's threads changed processor
-  };
-  SpaceStats stats_for(const AddressSpace* as) const;
+  // dispatch paths on hierarchical machines).
+  using SpaceStats = SpaceAllocStats;
+  SpaceStats stats_for(const AddressSpace* as) const { return as->alloc_state().stats; }
   // One of `as`'s threads was dispatched on a different processor than its
   // last (Kernel::NoteMigration).
-  void NoteSpaceMigration(const AddressSpace* as) { ++stats_[as->id()].migrations; }
+  void NoteSpaceMigration(const AddressSpace* as) { ++as->alloc_state().stats.migrations; }
+
+  // Kernel::AssignProcessor / UnassignProcessor hook: `proc` entered or left
+  // as->assigned() (delta is +1 or -1).  Keeps the deficit/surplus indexes
+  // and the per-socket holding counts exact even for detachments the
+  // allocator did not itself initiate (revoke completion, reaper teardown).
+  void OnAssignedChanged(AddressSpace* as, hw::Processor* proc, int delta);
+
+  // Test/bench hook: route every decision through the legacy full-rescan
+  // policy instead of the incremental structures.  Choose before the first
+  // space registers and never flip mid-run.
+  void set_reference_oracle(bool on) { reference_oracle_ = on; }
+  bool reference_oracle() const { return reference_oracle_; }
+
+  // Allocator entry points processed (decision-cost denominator for
+  // bench_alloc_scale).
+  int64_t decisions() const { return decisions_; }
 
  private:
-  int PendingRevokes(const AddressSpace* as) const;
-  void GrantFreeProcessors();
+  // One priority tier.  Members are tracked in id order; demands are
+  // mirrored into Fenwick trees over clamped demand values 1..P+1 (any
+  // demand above the machine size behaves identically, so values are
+  // clamped to keep the tree small).  The cached water-fill summary
+  // describes every member's target: a member with demand d gets
+  //   d <= 0         -> 0
+  //   clamp(d) <= threshold -> d (capped at its own demand)
+  //   otherwise      -> share, plus 1 if its id-rank among uncapped
+  //                     members is below `leftover`.
+  struct Tier {
+    int members = 0;  // registered members (including zero-demand)
+    int active = 0;   // members with demand > 0
+    std::map<int, AddressSpace*> by_id;
+    std::vector<AddressSpace*> changed;  // demand changes since last refresh
+    std::vector<int> cnt;                // Fenwick: member count per demand
+    std::vector<int64_t> sum;            // Fenwick: demand sum per demand
+    bool dirty = true;
+    // Cached water-fill summary, valid for pool_in inbound processors.
+    int pool_in = -1;
+    int pool_out = 0;
+    int threshold = 0;
+    int share = 0;
+    int leftover = 0;
+    int capped_cnt = 0;
+    int64_t capped_sum = 0;
+    int uncapped = 0;
+  };
+
+  bool use_incremental() const;
+  int Clamp(int demand) const;
+  Tier& TierOf(const AddressSpace* as);
+  void FenwickAdd(Tier& tier, int demand, int dcnt, int64_t dsum);
+  void FenwickPrefix(const Tier& tier, int demand, int* cnt, int64_t* sum) const;
+
+  // Syncs tier aggregates with as->desired_processors().
+  void RecordDemand(AddressSpace* as);
+  // Catches demand poked directly through set_desired_processors (tests).
+  void SyncDemands();
+  // Recomputes cached targets for dirty tiers (incremental mode).
+  void RefreshTargets();
+  void RefreshTier(Tier& tier, int pool_in);
+  void ApplyTarget(AddressSpace* as, int target);
+  // Re-derives heap/surplus/needy membership from the space's cached
+  // target, assigned count, and pending revocations.
+  void RefreshDerived(AddressSpace* as);
+  void NotePendingDelta(AddressSpace* as, int delta);
+
+  void RebalanceInternal();
+  // Revokes down to `target` for one space (idle fast path or async
+  // preemption), shared by both decision paths.
+  void RevokeSurplus(AddressSpace* as, int target);
+  void GrantFreeProcessors();           // incremental: deficit-heap pops
+  void GrantFreeProcessorsReference();  // legacy: full rescan per grant
   void Grant(hw::Processor* proc, AddressSpace* as);
   // Removes and returns the free processor to grant to `as`: the affinity
   // policy's pick when enabled, else the most recently freed.
@@ -104,11 +195,24 @@ class ProcessorAllocator {
   std::vector<hw::Processor*> RevocationOrder(const AddressSpace* as) const;
 
   Kernel* kernel_;
-  std::vector<AddressSpace*> spaces_;
-  std::vector<hw::Processor*> free_;
-  std::map<int, int> pending_revokes_;  // space id -> in-flight revocations
-  std::map<int, int> last_owner_;       // processor id -> last owning space id
-  std::map<int, SpaceStats> stats_;     // space id -> grant stats
+  int num_processors_ = 0;
+  std::vector<AddressSpace*> spaces_;   // dense registry (swap-removed)
+  std::map<int, AddressSpace*> by_id_;  // id-ordered registry
+  // Registered spaces currently holding >= 1 processor, id-ordered.  Bounds
+  // storm-candidate collection by the machine size instead of the space
+  // count; iterating it yields exactly the (space, processor) pairs the
+  // full by_id_ walk would (empty holdings contribute none), so seeded
+  // storm RNG streams are unchanged.
+  std::map<int, AddressSpace*> holders_;
+  std::map<int, Tier, std::greater<int>> tiers_;  // highest priority first
+  common::IntrusiveList<hw::Processor, &hw::Processor::alloc_free_node> free_;
+  // Spaces owed processors, keyed (-priority, -deficit, id): begin() is the
+  // legacy scan's pick (highest priority, largest deficit, lowest id).
+  std::set<std::tuple<int, int, int>> deficit_heap_;
+  std::set<int> surplus_;  // ids with assigned - pending > target
+  int needy_ = 0;          // spaces with assigned - pending < target
+  bool reference_oracle_ = false;
+  int64_t decisions_ = 0;
   bool rebalancing_ = false;
   bool rerun_ = false;
 };

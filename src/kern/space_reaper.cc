@@ -330,12 +330,8 @@ std::string SpaceReaper::ConservationReport(const AddressSpace* as) const {
     }
   }
   ProcessorAllocator* alloc = kernel_->allocator_.get();
-  if (alloc != nullptr) {
-    for (const AddressSpace* reg : alloc->spaces()) {
-      if (reg == as) {
-        leak += "allocator still tracks the space; ";
-      }
-    }
+  if (alloc != nullptr && alloc->IsRegistered(as)) {
+    leak += "allocator still tracks the space; ";
   }
   return leak;
 }
