@@ -9,6 +9,7 @@
 #define SA_COMMON_RNG_H_
 
 #include <cstdint>
+#include <limits>
 
 #include "src/common/assert.h"
 
@@ -55,10 +56,17 @@ class Rng {
     }
   }
 
-  // Uniform integer in [lo, hi] inclusive.
+  // Uniform integer in [lo, hi] inclusive.  The span is computed in uint64:
+  // `hi - lo` in int64 is signed-overflow UB whenever the range is wider
+  // than 2^63 (e.g. Range(INT64_MIN, INT64_MAX)); unsigned subtraction and
+  // the final wrap-around add are well defined for every lo <= hi.
   int64_t Range(int64_t lo, int64_t hi) {
     SA_DCHECK(lo <= hi);
-    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    if (span == std::numeric_limits<uint64_t>::max()) {
+      return static_cast<int64_t>(Next());  // full 64-bit range: any word is uniform
+    }
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + Below(span + 1));
   }
 
   // Uniform double in [0, 1).

@@ -133,6 +133,14 @@ class AddressSpace {
   // Live-thread accounting used by the kernel-thread demand estimate.
   int runnable_threads = 0;  // ready + running (kKernelThreads spaces)
 
+  // Slot of this space's ready-queue domain in the kernel's kt_domains_
+  // registry (-1 until first use).  Domains are created once and never
+  // erased, so caching the index makes Kernel::DomainFor O(1) instead of a
+  // linear scan — with hundreds of kt tenants the scan sat on every ready/
+  // dispatch path and turned scheduling O(spaces).
+  int kt_domain_index() const { return kt_domain_index_; }
+  void set_kt_domain_index(int i) { kt_domain_index_ = i; }
+
   // --- allocator-private bookkeeping (owned by kern::ProcessorAllocator) ---
   // Lives on the space so the allocator's hot paths are plain field loads
   // instead of hash-map lookups.  Mutable because stats accrue through
@@ -165,6 +173,7 @@ class AddressSpace {
   TeardownCause teardown_cause_ = TeardownCause::kNone;
   bool hung_ = false;
   int desired_processors_ = 0;
+  int kt_domain_index_ = -1;
   std::vector<hw::Processor*> assigned_;
   std::vector<std::unique_ptr<KThread>> threads_;
 };

@@ -86,11 +86,14 @@ Kernel::Domain* Kernel::DomainFor(AddressSpace* as) {
   }
   SA_CHECK_MSG(as->mode() == AsMode::kKernelThreads,
                "scheduler-activation spaces have no kernel ready queue");
-  for (auto& d : kt_domains_) {
-    if (d->as == as) {
-      return d.get();
-    }
+  // Domains are append-only, so the index cached on the space stays valid
+  // for its lifetime; the lookup must be O(1) or scheduling a machine full
+  // of kt tenants degrades to O(spaces) per dispatch.
+  const int cached = as->kt_domain_index();
+  if (cached >= 0) {
+    return kt_domains_[static_cast<size_t>(cached)].get();
   }
+  as->set_kt_domain_index(static_cast<int>(kt_domains_.size()));
   kt_domains_.push_back(std::make_unique<Domain>());
   kt_domains_.back()->as = as;
   return kt_domains_.back().get();
@@ -220,7 +223,15 @@ void Kernel::MakeReady(KThread* kt) {
 
   hw::Processor* idle = FindIdleProcessorFor(as);
   if (idle != nullptr) {
-    ChargeDispatchAndRun(idle, kt);
+    Domain* domain = DomainFor(as);
+    if (domain->ready.empty()) {
+      ChargeDispatchAndRun(idle, kt);
+    } else {
+      // FIFO: an older ready thread (e.g. one requeued after a revocation
+      // preemption) runs first; the new arrival takes its queue turn.
+      domain->ready.PushBack(kt);
+      DispatchOn(idle);
+    }
     return;
   }
   DomainFor(as)->ready.PushBack(kt);
@@ -456,6 +467,13 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
         } else if (!stopped->address_space()->reaped()) {
           stopped->set_state(KThreadState::kReady);
           DomainFor(stopped->address_space())->ready.PushBack(stopped);
+          // The space may still own an idle processor (e.g. one vacated
+          // between the revocation decision and this interrupt); without a
+          // kick the requeued thread would wait for an unrelated event.
+          hw::Processor* idle = FindIdleProcessorFor(stopped->address_space());
+          if (idle != nullptr) {
+            DispatchOn(idle);
+          }
         }
       } else if (notify) {
         old_as->sa()->OnProcessorRevoked(proc, nullptr);
@@ -536,9 +554,18 @@ void Kernel::SysExit(KThread* caller) {
         --live_threads_;
         AddressSpace* as = caller->address_space();
         --as->runnable_threads;
-        UpdateKtDemand(as);
+        // Vacate the processor before the demand update: the synchronous
+        // rebalance under SetDesired must see this processor as idle, so a
+        // surplus revocation reclaims it instead of preempting a sibling
+        // that is running real work.
         ClearRunning(proc);
-        DispatchOn(proc);
+        UpdateKtDemand(as);
+        // The rebalance may have reclaimed this processor and granted it
+        // elsewhere (possibly dispatching on it) — only dispatch here if it
+        // is still quiescent.
+        if (!proc->has_span() && running_on(proc) == nullptr) {
+          DispatchOn(proc);
+        }
       });
 }
 
@@ -567,14 +594,16 @@ void Kernel::FinishBlock(KThread* caller, bool io, sim::Duration latency,
                            proc->id(), as->id(),
                            static_cast<uint64_t>(caller->id()), io ? 1 : 0);
         --as->runnable_threads;
+        ClearRunning(proc);  // before the demand update, as in SysExit
         UpdateKtDemand(as);
-        ClearRunning(proc);
         if (io) {
           ScheduleIoCompletion(caller, latency, injectable, /*attempt=*/0);
         }
         if (as->mode() == AsMode::kSchedulerActivations) {
           as->sa()->OnThreadBlockedInKernel(caller, proc);
-        } else {
+        } else if (!proc->has_span() && running_on(proc) == nullptr) {
+          // As in SysExit: the demand update may have synchronously
+          // reclaimed and re-granted this processor.
           DispatchOn(proc);
         }
       });

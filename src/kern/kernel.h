@@ -183,6 +183,16 @@ class Kernel {
     return running_[static_cast<size_t>(proc->id())];
   }
 
+  // True when `proc` is idle in kernel with nothing in flight: no running
+  // thread, no span, no pending action, no latched interrupt.  Only such a
+  // processor may be reclaimed synchronously by the allocator.
+  bool IdleInKernel(const hw::Processor* proc) const {
+    return running_on(proc) == nullptr && !proc->has_span() &&
+           pending_[static_cast<size_t>(proc->id())].kind ==
+               PendingAction::Kind::kNone &&
+           !proc->interrupt_latched();
+  }
+
   // ---- hooks used by the allocator and SA machinery (src/core/) ----
   // Requests an interrupt with the given purpose; returns false if another
   // action is already pending on that processor.

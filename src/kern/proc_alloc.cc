@@ -432,19 +432,31 @@ void ProcessorAllocator::RevokeSurplus(AddressSpace* as, int target) {
     return;
   }
   const std::vector<hw::Processor*> candidates = RevocationOrder(as);
+  // Pass 1: idle-in-kernel processors reclaim immediately and displace
+  // nothing; take those first regardless of recency, so a surplus never
+  // preempts a running thread while a sibling processor sits idle.  A
+  // processor with anything in flight (pending action, latched interrupt)
+  // is not quiescent and falls through to the preemption pass.
   for (hw::Processor* proc : candidates) {
     if (surplus == 0) {
       break;
     }
-    if (kernel_->running_on(proc) == nullptr && !proc->has_span()) {
-      // Idle in kernel: reclaim immediately.
+    if (kernel_->IdleInKernel(proc)) {
       kernel_->UnassignProcessor(proc);
       if (as->mode() == AsMode::kSchedulerActivations) {
         as->sa()->OnProcessorRevoked(proc, nullptr);
       }
       free_.PushBack(proc);
       --surplus;
-      continue;
+    }
+  }
+  // Pass 2: preempt busy processors in revocation order for what remains.
+  for (hw::Processor* proc : candidates) {
+    if (surplus == 0) {
+      break;
+    }
+    if (kernel_->IdleInKernel(proc)) {
+      continue;  // reclaimed above (or already detached)
     }
     PendingAction action;
     action.kind = PendingAction::Kind::kRevoke;

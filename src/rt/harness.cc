@@ -98,9 +98,24 @@ void Harness::Start() {
   }
 }
 
+void Harness::AddCompletionGate(std::function<bool()> gate) {
+  SA_CHECK(!started_);
+  completion_gates_.push_back(std::move(gate));
+}
+
+void Harness::AddReportHook(std::function<void(RunReport&)> hook) {
+  SA_CHECK(!started_);
+  report_hooks_.push_back(std::move(hook));
+}
+
 bool Harness::AllDone() const {
   if (churn_pending_ > 0) {
     return false;
+  }
+  for (const auto& gate : completion_gates_) {
+    if (!gate()) {
+      return false;
+    }
   }
   for (const Entry& e : runtimes_) {
     if (e.background || e.rt->AllDone()) {

@@ -38,6 +38,8 @@ enum class RunOutcome {
 
 const char* RunOutcomeName(RunOutcome outcome);
 
+struct RunReport;  // report.h; hooks fill sections the harness knows nothing about
+
 struct RunResult {
   RunOutcome outcome = RunOutcome::kCompleted;
   sim::Time end_time = 0;
@@ -79,6 +81,21 @@ class Harness {
   // spawned runtimes.  Call before Start(); at most once.
   void AddChurn(int count, sim::Duration interval,
                 std::function<std::unique_ptr<Runtime>(int)> factory);
+
+  // Completion gates: AllDone() additionally requires every registered gate
+  // to return true.  Drivers that feed work in open loop (src/traffic/) use
+  // one to keep the run alive while arrivals are still scheduled, since
+  // their background tenant runtimes never gate completion themselves.
+  // Call before Start().
+  void AddCompletionGate(std::function<bool()> gate);
+
+  // Report hooks: MakeReport(harness) invokes each with the report being
+  // built, letting layered drivers (traffic SLO accounting) attach their
+  // sections without rt depending on them.  Call before Start().
+  void AddReportHook(std::function<void(RunReport&)> hook);
+  const std::vector<std::function<void(RunReport&)>>& report_hooks() const {
+    return report_hooks_;
+  }
 
   // Starts every registered runtime.
   void Start();
@@ -144,6 +161,8 @@ class Harness {
                               kern::TeardownCause cause);
 
   std::vector<Entry> runtimes_;
+  std::vector<std::function<bool()>> completion_gates_;
+  std::vector<std::function<void(RunReport&)>> report_hooks_;
   std::vector<std::unique_ptr<Runtime>> owned_;
   std::unique_ptr<trace::TraceBuffer> trace_;
   std::unique_ptr<inject::FaultInjector> injector_;

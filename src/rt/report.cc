@@ -1,5 +1,7 @@
 #include "src/rt/report.h"
 
+#include <algorithm>
+
 #include "src/common/table.h"
 
 namespace sa::rt {
@@ -42,7 +44,68 @@ RunReport MakeReport(Harness& harness) {
   report.teardowns = harness.kernel().reaper()->teardowns();
   report.hierarchical = m.topology().hierarchical();
   report.sockets = m.topology().num_sockets();
+  for (const auto& hook : harness.report_hooks()) {
+    hook(report);
+  }
   return report;
+}
+
+std::string RunReport::TenantTable() const {
+  if (!traffic_active) {
+    return "";
+  }
+  common::Table table({"tenant", "tier", "arrived", "done", "unserved", "p50",
+                       "p99", "p999", "mean", "slo", "viol%", "met"});
+  // Rollups keyed by tier, in first-seen order (tenants arrive tier-sorted
+  // from the generator, so this is descending priority).
+  struct TierAgg {
+    int tier;
+    int64_t arrivals = 0, completions = 0, unserved = 0;
+    int64_t worst_p999 = 0;
+    int met = 0, total = 0;
+  };
+  std::vector<TierAgg> tiers;
+  for (const TenantSloRow& t : tenants) {
+    table.AddRow({t.name, std::to_string(t.tier), std::to_string(t.arrivals),
+                  std::to_string(t.completions), std::to_string(t.unserved),
+                  sim::FormatDuration(t.p50), sim::FormatDuration(t.p99),
+                  sim::FormatDuration(t.p999),
+                  sim::FormatDuration(t.mean) +
+                      (t.mean_saturated ? " (saturated)" : ""),
+                  sim::FormatDuration(t.slo_latency),
+                  common::Table::Num(100.0 * t.violation_fraction, 1),
+                  t.slo_met ? "yes" : "NO"});
+    TierAgg* agg = nullptr;
+    for (TierAgg& a : tiers) {
+      if (a.tier == t.tier) {
+        agg = &a;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      tiers.push_back(TierAgg{t.tier});
+      agg = &tiers.back();
+    }
+    agg->arrivals += t.arrivals;
+    agg->completions += t.completions;
+    agg->unserved += t.unserved;
+    agg->worst_p999 = std::max(agg->worst_p999, t.p999);
+    agg->met += t.slo_met ? 1 : 0;
+    ++agg->total;
+  }
+  std::string out = table.ToString();
+  char buf[256];
+  for (const TierAgg& a : tiers) {
+    std::snprintf(buf, sizeof(buf),
+                  "tier %d: %d/%d tenants met SLO | %lld arrivals, "
+                  "%lld completed, %lld unserved | worst p999 %s\n",
+                  a.tier, a.met, a.total, static_cast<long long>(a.arrivals),
+                  static_cast<long long>(a.completions),
+                  static_cast<long long>(a.unserved),
+                  sim::FormatDuration(a.worst_p999).c_str());
+    out += buf;
+  }
+  return out;
 }
 
 std::string RunReport::ToString() const {
@@ -73,10 +136,11 @@ std::string RunReport::ToString() const {
   out += buf;
   if (upcall_latency.count() > 0) {
     std::snprintf(buf, sizeof(buf),
-                  "upcall latency (event -> delivery): n=%llu mean %s, "
+                  "upcall latency (event -> delivery): n=%llu mean %s%s, "
                   "p50 %s, p99 %s, max %s\n",
                   static_cast<unsigned long long>(upcall_latency.count()),
                   sim::FormatDuration(upcall_latency.mean()).c_str(),
+                  upcall_latency.saturated() ? " (saturated: lower bound)" : "",
                   sim::FormatDuration(upcall_latency.Quantile(0.5)).c_str(),
                   sim::FormatDuration(upcall_latency.Quantile(0.99)).c_str(),
                   sim::FormatDuration(upcall_latency.max()).c_str());
@@ -110,6 +174,10 @@ std::string RunReport::ToString() const {
                   static_cast<long long>(counters.ult_steals_local),
                   static_cast<long long>(counters.ult_steals_remote));
     out += buf;
+  }
+  if (traffic_active) {
+    out += "\n";
+    out += TenantTable();
   }
   if (reaper.spaces_reaped > 0) {
     std::snprintf(buf, sizeof(buf),

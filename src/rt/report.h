@@ -14,6 +14,33 @@
 
 namespace sa::rt {
 
+// Per-tenant SLO accounting for traffic-driven runs (src/traffic/): request
+// sojourn latency (arrival → completion, queueing included) against the
+// tenant's latency objective at a target quantile.
+struct TenantSloRow {
+  std::string name;
+  int tier = 0;  // priority tier (higher = more important)
+  int64_t arrivals = 0;
+  int64_t completions = 0;
+  int64_t unserved = 0;  // arrived, never finished (censored at run end)
+  // Sojourn-latency summary (ns).  Quantiles are interpolated from the
+  // tenant's log-2 histogram; mean_saturated marks a mean computed from a
+  // saturated sum (a lower bound, not an average).
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+  int64_t p999 = 0;
+  int64_t mean = 0;
+  int64_t max = 0;
+  bool mean_saturated = false;
+  // The objective and the verdict.  violation_fraction counts completions
+  // over the latency bound plus censored requests already past the bound at
+  // run end, over all arrivals.
+  sim::Duration slo_latency = 0;
+  double slo_quantile = 0.999;
+  double violation_fraction = 0.0;
+  bool slo_met = true;
+};
+
 struct RunReport {
   sim::Time elapsed = 0;
   // Machine-wide time per processor mode (ns).
@@ -39,6 +66,14 @@ struct RunReport {
   // live in `counters`; these identify the shape they were measured on.
   bool hierarchical = false;
   int sockets = 1;
+  // Per-tenant SLO breakdown, filled by a traffic generator's report hook
+  // (empty when no generator drove the run).
+  bool traffic_active = false;
+  std::vector<TenantSloRow> tenants;
+
+  // ASCII breakdown table of `tenants` plus a per-tier rollup; empty string
+  // when traffic was not active.
+  std::string TenantTable() const;
 
   // Fraction of machine time spent running application code.
   double UserUtilization() const;

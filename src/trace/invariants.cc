@@ -180,10 +180,14 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
       // kUltUnbind ends the idle interval too: a vcpu without a processor
       // cannot run work, so time past the unbind is queueing delay for the
       // space's remaining processors, not a lost wakeup.  Overlap *before*
-      // the unbind still counts.
+      // the unbind still counts.  kUltCsRecover likewise: an upcall delivery
+      // preempts the idle spin (clearing idle_spinning without any trace
+      // record) and the vcpu then executes critical-section recovery, so it
+      // is running, not idle, from this point on.
       case Kind::kUltIdleWake:
       case Kind::kUltDispatch:
       case Kind::kUltSteal:
+      case Kind::kUltCsRecover:
       case Kind::kUltUnbind: {
         SpaceUltState& s = ult[r.as_id];
         const uint64_t vcpu = r.arg0;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "src/common/intrusive_list.h"
@@ -85,6 +86,52 @@ TEST(Rng, ForkProducesIndependentStream) {
   Rng a(5);
   Rng child = a.Fork();
   EXPECT_NE(a.Next(), child.Next());
+}
+
+// Regression: Range used to compute `hi - lo` in int64 — signed-overflow UB
+// for any span wider than 2^63.  The span is now computed in uint64, so the
+// widest possible ranges are well defined; run this under SA_SANITIZE=undefined
+// to make the old bug trap instead of silently wrapping.
+TEST(Rng, RangeSurvivesWidestSpansWithoutOverflow) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  Rng rng(13);
+  // Full 64-bit range: every word is a valid draw; just exercise it.
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.Range(kMin, kMax);
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // One-short-of-full span (span + 1 must not wrap Below's bound to 0).
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.Range(kMin, kMax - 1);
+    EXPECT_LE(v, kMax - 1);
+  }
+  // Spans straddling zero but wider than 2^63: the old int64 subtraction
+  // overflowed here too.
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.Range(kMin / 2 - 7, kMax / 2 + 9);
+    EXPECT_GE(v, kMin / 2 - 7);
+    EXPECT_LE(v, kMax / 2 + 9);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.Range(kMax, kMax), kMax);
+  EXPECT_EQ(rng.Range(kMin, kMin), kMin);
+}
+
+TEST(Rng, RangeIsDeterministicAcrossWideAndNarrowSpans) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Range(std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max()),
+              b.Range(std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max()));
+    EXPECT_EQ(a.Range(-5, 5), b.Range(-5, 5));
+  }
 }
 
 // ---- stats ----

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "src/apps/experiments.h"
+#include "src/common/stats.h"
 #include "src/trace/chrome_export.h"
 #include "src/trace/histogram.h"
 #include "src/trace/invariants.h"
@@ -126,6 +127,78 @@ TEST(Histogram, SumSaturatesInsteadOfWrapping) {
   h.Merge(other);
   EXPECT_GT(h.mean(), 0);
   EXPECT_EQ(h.count(), 4u);
+}
+
+// Regression (red on the pre-interpolation Quantile): pin p50/p99/p999
+// against common::Samples exact percentiles on the same data.  The old code
+// returned the log-2 bucket upper bound outright, so on values spread over
+// [1000, 9000] it reported p50 = 8191 (true ~5000) and p999 = 16383 (true
+// ~8992) — up to ~2x overstatement.  Count-weighted interpolation across each
+// bucket's observed value range must land within a few percent of exact.
+TEST(Histogram, InterpolatedQuantilesTrackExactPercentiles) {
+  trace::LatencyHistogram h;
+  common::Samples exact;
+  // Deterministic near-uniform sweep of [1000, 9000]; spans five buckets.
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = 1000 + (static_cast<int64_t>(i) * 8000) / (kN - 1);
+    h.Add(v);
+    exact.Add(static_cast<double>(v));
+  }
+  for (const double q : {0.50, 0.99, 0.999}) {
+    const double want = exact.Percentile(q * 100.0);
+    const double got = static_cast<double>(h.Quantile(q));
+    EXPECT_NEAR(got, want, 0.06 * want)
+        << "q=" << q << " exact=" << want << " histogram=" << got;
+  }
+}
+
+// A single far outlier occupies a high bucket alone; quantiles below it must
+// not be dragged toward that bucket, and p999 must stay anchored to the
+// bulk's observed range rather than a nominal power-of-two bound.
+TEST(Histogram, OutlierDoesNotInflateTailQuantiles) {
+  trace::LatencyHistogram h;
+  common::Samples exact;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = 1000 + (static_cast<int64_t>(i) * 8000) / (kN - 1);
+    h.Add(v);
+    exact.Add(static_cast<double>(v));
+  }
+  h.Add(10'000'000);
+  exact.Add(10'000'000.0);
+  const double want = exact.Percentile(99.9);  // ~8992, outlier censored
+  const double got = static_cast<double>(h.Quantile(0.999));
+  EXPECT_NEAR(got, want, 0.06 * want);
+  // The outlier itself is still reachable at the very top.
+  EXPECT_EQ(h.Quantile(1.0), 10'000'000);
+}
+
+// Merge must propagate both the per-bucket observed ranges (so interpolation
+// stays tight after combining shards) and the saturation flag.
+TEST(Histogram, MergePropagatesBucketRangesAndSaturation) {
+  trace::LatencyHistogram a;
+  trace::LatencyHistogram b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(1100);  // bucket [1024, 2047], clustered low
+    b.Add(1900);  //   same bucket, clustered high
+  }
+  trace::LatencyHistogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  // Half the mass at 1100, half at 1900: the median interpolates inside
+  // [1100, 1900], nowhere near the nominal bucket bound 2047.
+  EXPECT_GE(merged.Quantile(0.5), 1100);
+  EXPECT_LE(merged.Quantile(0.5), 1900);
+  EXPECT_FALSE(merged.saturated());
+
+  trace::LatencyHistogram big;
+  big.Add(std::numeric_limits<int64_t>::max());
+  big.Add(std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(big.saturated());
+  merged.Merge(big);
+  EXPECT_TRUE(merged.saturated());  // flag survives the merge
+  EXPECT_GT(merged.mean(), 0);      // ...and the mean still does not wrap
 }
 
 TEST(Invariants, CleanTracePasses) {
