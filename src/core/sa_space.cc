@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/log.h"
+#include "src/inject/fault_injector.h"
 #include "src/kern/proc_alloc.h"
 #include "src/kern/space_reaper.h"
 
@@ -458,6 +459,56 @@ void SaSpace::DowncallProcessorIdle(kern::KThread* caller, std::function<void()>
     UpdateDemand();
     done();
   });
+}
+
+void SaSpace::DowncallYieldHint(kern::KThread* caller, std::function<void(bool)> done) {
+  kern::ProcessorAllocator* alloc = kernel_->allocator();
+  if (!kernel_->config().lending.enabled || as_->reaped() ||
+      !alloc->WantsLoanFrom(as_)) {
+    if (kernel_->config().lending.enabled) {
+      ++kernel_->counters().yield_hints_declined;
+    }
+    done(false);  // cost-free: no charge, no trace, no events
+    return;
+  }
+  hw::Processor* proc = caller->processor();
+  kernel_->ChargeKernel(
+      caller, kernel_->costs().downcall, [this, caller, proc, done = std::move(done)] {
+        kern::ProcessorAllocator* alloc = kernel_->allocator();
+        // Re-validate after the charge: the taker (or this very processor)
+        // may have vanished while the downcall was in flight — and a latched
+        // interrupt action (upcall delivery, revocation) makes the processor
+        // spoken for: lending it under the action's feet would fire the old
+        // owner's action on the borrower.
+        if (as_->reaped() || !as_->IsAssigned(proc) ||
+            kernel_->running_on(proc) != caller ||
+            kernel_->HasPendingAction(proc) || !alloc->WantsLoanFrom(as_)) {
+          ++kernel_->counters().yield_hints_declined;
+          done(false);
+          return;
+        }
+        ++kernel_->counters().downcalls_yield_hint;
+        kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanYieldHint,
+                                    proc->id(), as_->id(),
+                                    static_cast<uint64_t>(caller->activation()->id()),
+                                    static_cast<uint64_t>(proc->id()));
+        // Injected lie (DESIGN.md §11): the runtime claims the processor is
+        // idle but its demand never drops, so the loan below is recalled the
+        // instant UpdateDemand lands — an adversarial lender flap that
+        // exercises the reclaim fast path.
+        inject::FaultInjector* injector = kernel_->injector();
+        const bool lie = injector != nullptr && injector->ShouldLieYieldHint();
+        if (!lie) {
+          user_desired_ = std::max(0, std::min(user_desired_, num_assigned() - 1));
+        }
+        alloc->LendYieldedProcessor(as_, proc, caller);
+        UpdateDemand();
+        // The lie above leaves desired unchanged — no SetDesired edge, so
+        // the edge-triggered recall never fires.  Check explicitly now that
+        // the allocator sees the post-lend demand (not the stale pre-hint
+        // value, which would recall an honestly-lent processor).
+        alloc->RecallExcessLoans(as_);
+      });
 }
 
 void SaSpace::DowncallReturnDiscards(kern::KThread* caller, std::vector<int64_t> ids,

@@ -51,6 +51,14 @@ class SaSpace : public kern::SaSpaceIface {
                              std::function<void()> done);
   // "This processor is idle ()".
   void DowncallProcessorIdle(kern::KThread* caller, std::function<void()> done);
+  // Cross-space lending (DESIGN.md §16): "this processor is idle — lend it
+  // if someone wants it right now".  When lending is off or no space would
+  // take the processor, the hint declines synchronously and cost-free
+  // (done(false): no charge, no trace, no events).  On acceptance the
+  // calling activation is stopped, the processor travels to the borrower
+  // through the loan ledger, and `done` is never invoked — the space hears
+  // about the loss through the ordinary preempted upcall.
+  void DowncallYieldHint(kern::KThread* caller, std::function<void(bool)> done);
   // Return discarded activations for reuse, in bulk (Section 4.3).
   void DowncallReturnDiscards(kern::KThread* caller, std::vector<int64_t> ids,
                               std::function<void()> done);

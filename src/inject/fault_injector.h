@@ -100,6 +100,28 @@ class FaultInjector {
     stats_.storm_revocations += n;
   }
 
+  // A loan reclaim is about to issue its interrupt: 0 = now, else defer this
+  // long (the borrower is slow to let go; the deadline watchdog still runs).
+  sim::Duration LoanReclaimDelay() {
+    if (plan_.reclaim_delay <= 0.0 || !rng_.Bernoulli(plan_.reclaim_delay)) {
+      return 0;
+    }
+    ++stats_.faults_injected;
+    ++stats_.loan_reclaim_delays;
+    return plan_.reclaim_delay_for;
+  }
+
+  // An accepted yield-hint downcall: should the lender's user-level demand
+  // bookkeeping lie (skip the decrement), leaving its demand inflated?
+  bool ShouldLieYieldHint() {
+    if (plan_.yield_lie <= 0.0 || !rng_.Bernoulli(plan_.yield_lie)) {
+      return false;
+    }
+    ++stats_.faults_injected;
+    ++stats_.yield_hint_lies;
+    return true;
+  }
+
  private:
   const FaultPlan plan_;
   common::Rng rng_;

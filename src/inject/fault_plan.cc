@@ -110,6 +110,11 @@ sim::Duration FaultPlan::ExtraIdleSlack() const {
     // revocation-in-flight window being funneled back to the allocator.
     slack += sim::Msec(10);
   }
+  if (reclaim_delay > 0.0) {
+    // A deferred loan recall keeps the lender short for the injected delay
+    // plus the watchdog's retry ladder before force-revocation caps it.
+    slack += 4 * reclaim_delay_for + sim::Msec(10);
+  }
   return slack;
 }
 
@@ -143,6 +148,9 @@ std::string FaultPlan::ToSpec() const {
   integer("hang_space", hang_space, def.hang_space);
   duration("exit_at", exit_at, def.exit_at);
   integer("exit_space", exit_space, def.exit_space);
+  real("reclaim_delay", reclaim_delay, def.reclaim_delay);
+  duration("reclaim_delay_for", reclaim_delay_for, def.reclaim_delay_for);
+  real("yield_lie", yield_lie, def.yield_lie);
   return s;
 }
 
@@ -202,6 +210,12 @@ bool FaultPlan::Parse(std::string_view spec, FaultPlan* out, std::string* error)
       ok = ParseDuration(value, &plan.exit_at);
     } else if (key == "exit_space") {
       ok = ParseInt(value, &plan.exit_space);
+    } else if (key == "reclaim_delay") {
+      ok = ParseReal(value, &plan.reclaim_delay);
+    } else if (key == "reclaim_delay_for") {
+      ok = ParseDuration(value, &plan.reclaim_delay_for);
+    } else if (key == "yield_lie") {
+      ok = ParseReal(value, &plan.yield_lie);
     } else {
       return fail("unknown key \"" + std::string(key) + "\"");
     }
@@ -226,7 +240,9 @@ bool FaultPlan::operator==(const FaultPlan& other) const {
          storm_burst == other.storm_burst && crash_at == other.crash_at &&
          crash_space == other.crash_space && hang_at == other.hang_at &&
          hang_space == other.hang_space && exit_at == other.exit_at &&
-         exit_space == other.exit_space;
+         exit_space == other.exit_space && reclaim_delay == other.reclaim_delay &&
+         reclaim_delay_for == other.reclaim_delay_for &&
+         yield_lie == other.yield_lie;
 }
 
 FaultPlan FaultPlan::Random(uint64_t seed) {

@@ -83,6 +83,20 @@ struct FaultPlan {
   sim::Duration exit_at = 0;
   int exit_space = 0;
 
+  // Lending-targeted faults (kern cross-space lending, DESIGN.md §16).
+  //   reclaim_delay: with this probability a loan-reclaim interrupt is
+  //     deferred by `reclaim_delay_for` before it is issued — modelling a
+  //     borrower slow to let go.  The reclaim-deadline watchdog must bound
+  //     the damage regardless.
+  //   yield_lie: with this probability an accepted yield-hint downcall lies
+  //     about the lender's demand bookkeeping (the lender "forgets" it gave
+  //     a processor away), so its demand never dips and the loan is only
+  //     recalled by later demand growth — an accounting-confusion fault the
+  //     conservation checks must survive.
+  double reclaim_delay = 0.0;
+  sim::Duration reclaim_delay_for = sim::Msec(2);
+  double yield_lie = 0.0;
+
   // True when any lifecycle fault is planted.
   bool lifecycle_active() const {
     return crash_at > 0 || hang_at > 0 || exit_at > 0;
@@ -92,7 +106,8 @@ struct FaultPlan {
   // and perturbs nothing (byte-identical traces to an injector-free run).
   bool active() const {
     return io_fail > 0.0 || io_spike > 0.0 || upcall_delay > 0.0 ||
-           alloc_deny > 0.0 || storm_period > 0 || lifecycle_active();
+           alloc_deny > 0.0 || storm_period > 0 || lifecycle_active() ||
+           reclaim_delay > 0.0 || yield_lie > 0.0;
   }
 
   // Slack the no-idle-while-ready trace invariant needs on top of its default
@@ -133,6 +148,8 @@ struct InjectStats {
   int64_t upcall_delays = 0;
   int64_t alloc_denials = 0;
   int64_t storm_revocations = 0;
+  int64_t loan_reclaim_delays = 0;  // loan-reclaim interrupts deferred
+  int64_t yield_hint_lies = 0;      // accepted yield hints with lied accounting
   int64_t degraded_transitions = 0;  // entries into a degraded mode (retry
                                      // loop or alloc-denial burst)
 };

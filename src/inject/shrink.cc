@@ -57,6 +57,16 @@ const std::vector<Mutator>& Mutators() {
         p->exit_space = 0;
         return true;
       },
+      [](FaultPlan* p) {
+        if (p->reclaim_delay == 0.0) return false;
+        p->reclaim_delay = 0.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->yield_lie == 0.0) return false;
+        p->yield_lie = 0.0;
+        return true;
+      },
       // Then halve surviving magnitudes.
       [](FaultPlan* p) {
         if (p->io_fail == 0.0) return false;
@@ -111,6 +121,23 @@ const std::vector<Mutator>& Mutators() {
       [](FaultPlan* p) {
         if (p->storm_period == 0 || p->storm_period >= sim::Msec(50)) return false;
         p->storm_period *= 2;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->reclaim_delay == 0.0) return false;
+        p->reclaim_delay /= 2.0;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->reclaim_delay == 0.0 || p->reclaim_delay_for <= sim::Usec(100)) {
+          return false;
+        }
+        p->reclaim_delay_for /= 2;
+        return true;
+      },
+      [](FaultPlan* p) {
+        if (p->yield_lie == 0.0) return false;
+        p->yield_lie /= 2.0;
         return true;
       },
   };

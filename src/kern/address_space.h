@@ -41,6 +41,7 @@ enum class TeardownCause {
   kCrashed,  // runtime faulted (upcall handler / user thread trap)
   kHung,     // stopped responding to upcalls; watchdog declared it dead
   kExited,   // orderly exit that leaked resources
+  kHoarded,  // sat on a loan past the reclaim deadline; force-revoked
 };
 
 const char* AsLifecycleName(AsLifecycle s);
@@ -160,8 +161,27 @@ class AddressSpace {
   };
   AllocState& alloc_state() const { return alloc_state_; }
 
+  // Cross-space lending state (DESIGN.md §16), owned by the allocator like
+  // AllocState.  All zero unless Config::lending.enabled.
+  struct LoanState {
+    int loaned_out = 0;   // processors this space has lent to others
+    int borrowed_in = 0;  // processors this space holds on loan
+    // Dip hysteresis (kernel-thread lenders): armed when demand dips below
+    // holdings, ripe once the window expires without the demand returning.
+    // The epoch invalidates in-flight window events when demand recovers.
+    bool dip_armed = false;
+    bool dip_ripe = false;
+    uint64_t dip_epoch = 0;
+    // Lifetime totals for per-space reporting.
+    int64_t lends = 0;     // loans this space granted as lender
+    int64_t borrows = 0;   // loans this space received as borrower
+    int64_t reclaims = 0;  // loans recalled by this space's demand return
+  };
+  LoanState& loan_state() const { return loan_state_; }
+
  private:
   mutable AllocState alloc_state_;
+  mutable LoanState loan_state_;
   const int id_;
   const std::string name_;
   const AsMode mode_;

@@ -125,6 +125,14 @@ struct CostModel {
   sim::Duration idle_hysteresis = sim::Msec(5);
   // Downcalls from Table 3 are plain kernel traps plus bookkeeping.
   sim::Duration downcall = sim::Usec(24);  // trap 19 + 5 bookkeeping
+  // Cross-space lending (DESIGN.md §16): the reclaim fast path skips the
+  // grant-loop renegotiation, so recalling a loan costs only the interrupt
+  // plus this short direct-return bookkeeping.
+  sim::Duration loan_reclaim = sim::Usec(15);
+  // How long an SA vcpu idle-spins before offering its processor as a
+  // revocable loan (well under idle_hysteresis: a loan is cheap to reclaim,
+  // returning the processor to the kernel is not).
+  sim::Duration lend_hint_hysteresis = sim::Usec(500);
 
   // ---- devices ----
   // The paper's modified N-body app blocks in the kernel for 50 ms on a

@@ -22,6 +22,12 @@ Kernel::Kernel(hw::Machine* machine, Config config)
     machine_->processor(i)->set_interrupt_handler(
         [this](hw::Processor* proc, hw::Interrupt irq) { OnInterrupt(proc, std::move(irq)); });
   }
+  if (config_.lending.enabled) {
+    SA_CHECK_MSG(config_.mode == KernelMode::kSchedulerActivations,
+                 "cross-space lending requires the explicit allocator");
+    SA_CHECK_MSG(!config_.affinity_allocation,
+                 "cross-space lending rides the incremental allocator paths");
+  }
   if (config_.mode == KernelMode::kSchedulerActivations) {
     allocator_ = std::make_unique<ProcessorAllocator>(this);
     for (int i = 0; i < machine_->num_processors(); ++i) {
@@ -481,6 +487,40 @@ void Kernel::HandleAction(hw::Processor* proc, PendingAction action, KThread* st
       proc->BeginKernelSpan(costs().preempt_interrupt, [this, proc, old_as] {
         allocator_->OnRevokeComplete(old_as, proc);
       });
+      break;
+    }
+
+    case PendingAction::Kind::kLoanReclaim: {
+      // Instant-reclaim fast path (DESIGN.md §16): the lender's demand
+      // returned, so the borrower loses the loaned processor with a single
+      // preempt upcall — the ledger settles here and the processor goes
+      // straight back to the lender, with no grant-loop renegotiation.
+      AddressSpace* old_as = OwnerOf(proc);
+      allocator_->OnLoanReclaimPreempted(proc, action.loan_epoch);
+      if (old_as != nullptr) {
+        UnassignProcessor(proc);
+      }
+      const bool notify = old_as != nullptr && !old_as->reaped() &&
+                          old_as->mode() == AsMode::kSchedulerActivations;
+      if (stopped != nullptr) {
+        if (notify) {
+          stopped->set_state(KThreadState::kStopped);
+          old_as->sa()->OnProcessorRevoked(proc, stopped);
+        } else if (!stopped->address_space()->reaped()) {
+          stopped->set_state(KThreadState::kReady);
+          DomainFor(stopped->address_space())->ready.PushBack(stopped);
+          hw::Processor* idle = FindIdleProcessorFor(stopped->address_space());
+          if (idle != nullptr) {
+            DispatchOn(idle);
+          }
+        }
+      } else if (notify) {
+        old_as->sa()->OnProcessorRevoked(proc, nullptr);
+      }
+      proc->BeginKernelSpan(costs().preempt_interrupt + costs().loan_reclaim,
+                            [this, proc, old_as] {
+                              allocator_->OnLoanReclaimComplete(old_as, proc);
+                            });
       break;
     }
 

@@ -45,6 +45,23 @@ enum class KernelMode {
   kSchedulerActivations,
 };
 
+// Cross-space processor lending (DESIGN.md §16).  Off by default: with
+// `enabled` false the allocator takes no lending decisions, schedules no
+// lending events, and seeded traces stay byte-identical to a build without
+// the feature.
+struct LendingConfig {
+  bool enabled = false;
+  // How long a kernel-thread space's demand must sit below its holdings
+  // before its surplus becomes lendable (guards against demand flutter).
+  sim::Duration hysteresis = sim::Msec(2);
+  // Reclaim-deadline watchdog: virtual time a borrower may sit on a reclaim
+  // preemption before the first ping; doubles per ping, and after
+  // `max_pings` unanswered pings the borrower is force-revoked and
+  // quarantined through the space reaper's escalation ladder.
+  sim::Duration reclaim_deadline = sim::Msec(5);
+  int max_pings = 2;
+};
+
 struct Config {
   CostModel costs;
   KernelMode mode = KernelMode::kNativeTopaz;
@@ -59,6 +76,9 @@ struct Config {
   // cache), picks revocation victims that keep each space's holdings
   // socket-compact, and breaks fair-share leftover ties toward incumbency.
   bool affinity_allocation = false;
+  // Cross-space processor lending (DESIGN.md §16).  Incompatible with
+  // affinity_allocation (lending rides the incremental allocator paths).
+  LendingConfig lending;
 };
 
 // Event counters for experiments and tests.
@@ -97,6 +117,16 @@ struct KernelCounters {
   sim::Duration migration_penalty_time = 0;  // virtual time charged for both
   int64_t ult_steals_local = 0;   // user-level steals within a socket
   int64_t ult_steals_remote = 0;  // user-level steals across sockets
+  // Cross-space processor lending (DESIGN.md §16).  All zero unless
+  // Config::lending.enabled.
+  int64_t loans_granted = 0;         // loans opened (dip surplus or yield hint)
+  int64_t loans_reclaimed = 0;       // loans closed by lender demand return
+  int64_t loans_reclaimed_fast = 0;  // of those, synchronous (borrower idle)
+  int64_t loans_adopted = 0;         // loans converted to ownership transfers
+  int64_t loans_force_revoked = 0;   // watchdog gave up; borrower quarantined
+  int64_t loan_deadline_pings = 0;   // unanswered reclaim-deadline pings
+  int64_t downcalls_yield_hint = 0;  // accepted yield-hint downcalls
+  int64_t yield_hints_declined = 0;  // hints offered with no eligible borrower
 };
 
 // Why the kernel asked a processor to stop (set before RequestInterrupt).
@@ -106,12 +136,14 @@ struct PendingAction {
     kTimeslice,         // round-robin: requeue current, dispatch next
     kDispatchThread,    // priority wakeup: requeue current, run `thread`
     kRevoke,            // allocator takes the processor away from its space
+    kLoanReclaim,       // lender's demand returned; bounded-latency loan recall
     kUpcallDeliver,     // stop current activation; space delivers an upcall here
     kDebugStop,         // debugger stop: save state, no notification (§4.4)
   };
   Kind kind = Kind::kNone;
   KThread* thread = nullptr;       // kDispatchThread
   SaSpaceIface* space = nullptr;   // kUpcallDeliver
+  uint64_t loan_epoch = 0;         // kLoanReclaim: which loan this recalls
 };
 
 class Kernel {
@@ -128,6 +160,10 @@ class Kernel {
   KernelMode mode() const { return config_.mode; }
   KernelCounters& counters() { return counters_; }
   ProcessorAllocator* allocator() { return allocator_.get(); }
+  // Every address space ever created, reaped ones included (reporting).
+  const std::vector<std::unique_ptr<AddressSpace>>& spaces() const {
+    return spaces_;
+  }
   // Teardown state machine for failed address spaces (space_reaper.h).
   SpaceReaper* reaper() const { return reaper_.get(); }
   // Fault injector installed on the machine (null = injection off).
@@ -191,6 +227,16 @@ class Kernel {
            pending_[static_cast<size_t>(proc->id())].kind ==
                PendingAction::Kind::kNone &&
            !proc->interrupt_latched();
+  }
+
+  // True when an interrupt action is latched on (or in flight to) `proc`.
+  // Such a processor is spoken for: moving it to another space out from
+  // under the action would deliver the old owner's upcall — or worse, a
+  // revocation — on a processor it no longer holds.
+  bool HasPendingAction(const hw::Processor* proc) const {
+    return pending_[static_cast<size_t>(proc->id())].kind !=
+               PendingAction::Kind::kNone ||
+           proc->interrupt_latched();
   }
 
   // ---- hooks used by the allocator and SA machinery (src/core/) ----

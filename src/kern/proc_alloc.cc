@@ -4,7 +4,9 @@
 
 #include "src/common/log.h"
 #include "src/hw/topology.h"
+#include "src/inject/fault_injector.h"
 #include "src/kern/kernel.h"
+#include "src/kern/space_reaper.h"
 #include "src/trace/trace.h"
 
 namespace sa::kern {
@@ -81,7 +83,7 @@ void ProcessorAllocator::AddFree(hw::Processor* proc) { free_.PushBack(proc); }
 
 void ProcessorAllocator::RecordDemand(AddressSpace* as) {
   AddressSpace::AllocState& st = as->alloc_state();
-  const int desired = as->desired_processors();
+  const int desired = EffectiveDemand(as);
   if (st.demand == desired) {
     return;
   }
@@ -104,7 +106,7 @@ void ProcessorAllocator::RecordDemand(AddressSpace* as) {
 
 void ProcessorAllocator::SyncDemands() {
   for (AddressSpace* as : spaces_) {
-    if (as->alloc_state().demand != as->desired_processors()) {
+    if (as->alloc_state().demand != EffectiveDemand(as)) {
       RecordDemand(as);
     }
   }
@@ -117,6 +119,10 @@ void ProcessorAllocator::SetDesired(AddressSpace* as, int desired) {
   }
   ++decisions_;
   as->set_desired_processors(desired);
+  // Lending reacts to the demand edge before the tier aggregates see it:
+  // a demand return recalls loans, a dip arms the hysteresis window (whose
+  // entitlement floor RecordDemand then reads through EffectiveDemand).
+  UpdateLoanStateOnDesired(as);
   if (IsRegistered(as)) {
     RecordDemand(as);
   }
@@ -318,7 +324,12 @@ void ProcessorAllocator::RefreshDerived(AddressSpace* as) {
   if (st.index < 0 || !use_incremental()) {
     return;
   }
-  const int assigned = static_cast<int>(as->assigned().size());
+  // Entitlement, not raw holdings: a lender's loaned-out processors still
+  // count toward it (it must not look needy for capacity it chose to lend)
+  // and a borrower's borrowed ones never do (it must not look satisfied by
+  // capacity it can lose at any instant).  Identical to assigned().size()
+  // with lending off.
+  const int assigned = Entitled(as);
   const int deficit = st.target - assigned;
   if (st.in_heap && (deficit <= 0 || deficit != st.heap_deficit)) {
     deficit_heap_.erase({-as->priority(), -st.heap_deficit, as->id()});
@@ -403,6 +414,9 @@ void ProcessorAllocator::RebalanceInternal() {
         }
       }
       GrantFreeProcessors();
+      if (lending_enabled()) {
+        LendSurplus();
+      }
     } else {
       const std::vector<int> target = ComputeTargetsReference();
       bool someone_needs = false;
@@ -426,8 +440,28 @@ void ProcessorAllocator::RebalanceInternal() {
 }
 
 void ProcessorAllocator::RevokeSurplus(AddressSpace* as, int target) {
-  int surplus = static_cast<int>(as->assigned().size()) -
-                as->alloc_state().pending_revokes - target;
+  int surplus = Entitled(as) - as->alloc_state().pending_revokes - target;
+  if (surplus <= 0) {
+    return;
+  }
+  // A lender above target sheds loans first: adoption transfers ownership
+  // to the borrower with no processor motion, so Section 4.1 reclaims the
+  // lender's paper capacity without a preemption.  Loans mid-reclaim are
+  // skipped — their in-flight completion would strand an adopted processor.
+  while (surplus > 0 && !loans_.empty()) {
+    const Loan* pick = nullptr;
+    for (const auto& [pid, loan] : loans_) {
+      if (loan.lender == as && !loan.reclaiming &&
+          (pick == nullptr || loan.epoch > pick->epoch)) {
+        pick = &loan;
+      }
+    }
+    if (pick == nullptr) {
+      break;
+    }
+    AdoptLoan(*pick);
+    --surplus;
+  }
   if (surplus <= 0) {
     return;
   }
@@ -436,10 +470,14 @@ void ProcessorAllocator::RevokeSurplus(AddressSpace* as, int target) {
   // nothing; take those first regardless of recency, so a surplus never
   // preempts a running thread while a sibling processor sits idle.  A
   // processor with anything in flight (pending action, latched interrupt)
-  // is not quiescent and falls through to the preemption pass.
+  // is not quiescent and falls through to the preemption pass.  Borrowed
+  // processors leave only through the loan protocol, never through here.
   for (hw::Processor* proc : candidates) {
     if (surplus == 0) {
       break;
+    }
+    if (IsOnLoan(proc)) {
+      continue;
     }
     if (kernel_->IdleInKernel(proc)) {
       kernel_->UnassignProcessor(proc);
@@ -454,6 +492,9 @@ void ProcessorAllocator::RevokeSurplus(AddressSpace* as, int target) {
   for (hw::Processor* proc : candidates) {
     if (surplus == 0) {
       break;
+    }
+    if (IsOnLoan(proc)) {
+      continue;
     }
     if (kernel_->IdleInKernel(proc)) {
       continue;  // reclaimed above (or already detached)
@@ -636,6 +677,9 @@ int ProcessorAllocator::InjectRevocations(int burst, common::Rng& rng) {
   std::vector<std::pair<AddressSpace*, hw::Processor*>> owned;
   for (auto& [id, as] : holders_) {
     for (hw::Processor* proc : as->assigned()) {
+      if (IsOnLoan(proc)) {
+        continue;  // loans churn only through the loan protocol
+      }
       owned.emplace_back(as, proc);
     }
   }
@@ -692,6 +736,15 @@ void ProcessorAllocator::ReleaseSpace(AddressSpace* as) {
   st.target = 0;
   st.heap_deficit = 0;
   st.stats = SpaceAllocStats{};
+  // Loans touching the space were settled by ResolveLoansForTeardown (the
+  // conservation report checks loaned_out/borrowed_in are zero); wipe the
+  // dip machinery and bump the epoch so scheduled dip callbacks captured
+  // before death see a stale epoch and fall out.  Lifetime lend/borrow
+  // totals survive for reporting.
+  lendable_.erase(as->id());
+  as->loan_state().dip_armed = false;
+  as->loan_state().dip_ripe = false;
+  ++as->loan_state().dip_epoch;
   // Leave the tier.
   Tier& tier = TierOf(as);
   if (st.pending_refresh) {
@@ -723,8 +776,528 @@ void ProcessorAllocator::OnRevokeComplete(AddressSpace* old_as, hw::Processor* p
       old_as->alloc_state().pending_revokes > 0) {
     NotePendingDelta(old_as, -1);
   }
+  // A processor detaching from a settled loan (borrower-death teardown
+  // revocation) goes straight home to its lender, not the free pool.
+  auto rt = return_to_.find(proc->id());
+  if (rt != return_to_.end()) {
+    AddressSpace* lender = rt->second.lender;
+    return_to_.erase(rt);
+    if (lender != nullptr && IsRegistered(lender) && !lender->reaped()) {
+      Grant(proc, lender);
+      RebalanceInternal();
+      return;
+    }
+  }
   free_.PushBack(proc);
   RebalanceInternal();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-space lending (DESIGN.md §16).
+//
+// All lending state is empty and every hook below is inert unless
+// Config::lending.enabled: Entitled() collapses to assigned().size(),
+// EffectiveDemand() to desired_processors(), and no events, trace records,
+// or RNG draws are produced — seeded traces stay byte-identical.
+// ---------------------------------------------------------------------------
+
+bool ProcessorAllocator::lending_enabled() const {
+  return kernel_->config().lending.enabled;
+}
+
+int ProcessorAllocator::Entitled(const AddressSpace* as) const {
+  const AddressSpace::LoanState& ls = as->loan_state();
+  return static_cast<int>(as->assigned().size()) - ls.borrowed_in + ls.loaned_out;
+}
+
+int ProcessorAllocator::EffectiveDemand(const AddressSpace* as) const {
+  const int desired = as->desired_processors();
+  if (!lending_enabled()) {
+    return desired;
+  }
+  const AddressSpace::LoanState& ls = as->loan_state();
+  if (ls.loaned_out > 0 || ls.dip_armed || ls.dip_ripe) {
+    // The floor keeps Section 4.1 from revoking a dipped lender's surplus
+    // out from under the hysteresis window, and keeps a lender's claim to
+    // its loaned-out processors alive until the recall lands.
+    return std::max(desired, Entitled(as));
+  }
+  return desired;
+}
+
+void ProcessorAllocator::UpdateLoanStateOnDesired(AddressSpace* as) {
+  if (!lending_enabled() || !IsRegistered(as) || as->reaped()) {
+    return;
+  }
+  AddressSpace::LoanState& ls = as->loan_state();
+  const int desired = as->desired_processors();
+  const int assigned = static_cast<int>(as->assigned().size());
+  // Demand returned above physical holdings: recall loans first — the
+  // instant-reclaim guarantee — before Section 4.1 considers fresh grants.
+  if (ls.loaned_out > 0 && desired > assigned) {
+    ReclaimLoans(as, std::min(ls.loaned_out, desired - assigned));
+  }
+  // Dip hysteresis is a kernel-thread-lender device: an SA space parks its
+  // idle processors spinning at user level (never idle-in-kernel), so it
+  // lends only through the explicit yield-hint downcall.
+  if (as->mode() != AsMode::kKernelThreads) {
+    return;
+  }
+  if (desired >= Entitled(as)) {
+    ls.dip_armed = false;
+    ls.dip_ripe = false;
+    ++ls.dip_epoch;
+    lendable_.erase(as->id());
+    return;
+  }
+  if (!ls.dip_armed && !ls.dip_ripe) {
+    ls.dip_armed = true;
+    const uint64_t epoch = ++ls.dip_epoch;
+    kernel_->engine().ScheduleIn(kernel_->config().lending.hysteresis,
+                                 [this, as, epoch] { OnDipDeadline(as, epoch); });
+  }
+}
+
+void ProcessorAllocator::OnDipDeadline(AddressSpace* as, uint64_t epoch) {
+  if (!lending_enabled() || !IsRegistered(as) || as->reaped()) {
+    return;
+  }
+  AddressSpace::LoanState& ls = as->loan_state();
+  if (ls.dip_epoch != epoch || !ls.dip_armed) {
+    return;  // demand recovered (or the space churned) while we waited
+  }
+  ls.dip_armed = false;
+  ls.dip_ripe = true;
+  lendable_.insert(as->id());
+  RebalanceInternal();  // the lend pass runs in the rebalance tail
+}
+
+void ProcessorAllocator::LendSurplus() {
+  if (lendable_.empty()) {
+    return;
+  }
+  const std::vector<int> ids(lendable_.begin(), lendable_.end());
+  for (int id : ids) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      continue;
+    }
+    AddressSpace* lender = it->second;
+    if (!lender->loan_state().dip_ripe || lender->reaped()) {
+      continue;
+    }
+    int surplus = Entitled(lender) - lender->desired_processors();
+    // Most recently granted first, mirroring the revocation order.  Only
+    // quiescent, owned processors travel: the borrower must get a grant it
+    // can use immediately, and the loan must displace nothing.
+    const std::vector<hw::Processor*> order(lender->assigned().rbegin(),
+                                            lender->assigned().rend());
+    for (hw::Processor* proc : order) {
+      if (surplus <= 0) {
+        break;
+      }
+      if (IsOnLoan(proc) || !kernel_->IdleInKernel(proc)) {
+        continue;
+      }
+      AddressSpace* borrower = PickBorrower(lender);
+      if (borrower == nullptr) {
+        break;
+      }
+      LendOne(proc, lender, borrower);
+      --surplus;
+    }
+  }
+}
+
+AddressSpace* ProcessorAllocator::PickBorrower(const AddressSpace* lender) {
+  AddressSpace* best = nullptr;
+  int best_unmet = 0;
+  for (auto& [id, as] : by_id_) {
+    if (as == lender || as->reaped()) {
+      continue;
+    }
+    const AddressSpace::LoanState& ls = as->loan_state();
+    if (ls.loaned_out > 0 || ls.dip_armed || ls.dip_ripe) {
+      continue;  // lenders don't borrow; a loan never chains
+    }
+    const int unmet =
+        as->desired_processors() - static_cast<int>(as->assigned().size());
+    if (unmet <= 0) {
+      continue;
+    }
+    if (best == nullptr || as->priority() > best->priority() ||
+        (as->priority() == best->priority() && unmet > best_unmet)) {
+      best = as;
+      best_unmet = unmet;
+    }
+  }
+  return best;
+}
+
+void ProcessorAllocator::LendOne(hw::Processor* proc, AddressSpace* lender,
+                                 AddressSpace* borrower) {
+  ++decisions_;
+  Loan loan;
+  loan.proc = proc;
+  loan.lender = lender;
+  loan.borrower = borrower;
+  loan.epoch = ++loan_epoch_;
+  loan.granted_at = kernel_->engine().now();
+  loans_[proc->id()] = loan;
+  lender->loan_state().loaned_out += 1;
+  borrower->loan_state().borrowed_in += 1;
+  ++lender->loan_state().lends;
+  ++borrower->loan_state().borrows;
+  ++kernel_->counters().loans_granted;
+  kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanGrant,
+                              proc->id(), lender->id(), loan.epoch,
+                              static_cast<uint64_t>(borrower->id()));
+  // With the ledger open first, Entitled() on both sides is invariant
+  // across the two physical transitions below (loaned_out/borrowed_in
+  // offset the assigned() moves), so the deficit/surplus indexes see no
+  // transient spike.
+  kernel_->UnassignProcessor(proc);
+  if (lender->mode() == AsMode::kSchedulerActivations) {
+    lender->sa()->OnProcessorRevoked(proc, nullptr);
+  }
+  Grant(proc, borrower);
+  RecordDemand(lender);  // the effective-demand floor may have engaged
+  RefreshDerived(lender);
+}
+
+bool ProcessorAllocator::WantsLoanFrom(AddressSpace* lender) {
+  return lending_enabled() && PickBorrower(lender) != nullptr;
+}
+
+void ProcessorAllocator::LendYieldedProcessor(AddressSpace* lender,
+                                              hw::Processor* proc, KThread* caller) {
+  SA_CHECK(lending_enabled());
+  ++decisions_;
+  caller->set_state(KThreadState::kStopped);
+  kernel_->ClearRunning(proc);
+  auto it = loans_.find(proc->id());
+  if (it != loans_.end()) {
+    // The space hinting here is the *borrower* of an existing loan: loans
+    // never chain, so the hint closes the loan instead — a zero-cost return
+    // for the original lender (counted as a fast reclaim when one was in
+    // flight).
+    const Loan loan = it->second;
+    SA_CHECK(loan.borrower == lender);
+    const bool was_reclaiming = loan.reclaiming;
+    CloseLoan(loan, static_cast<int>(trace::LoanReturnReason::kReclaimFast));
+    if (was_reclaiming) {
+      ++kernel_->counters().loans_reclaimed;
+      ++kernel_->counters().loans_reclaimed_fast;
+      reclaim_latency_.Add(kernel_->engine().now() - loan.reclaim_issued_at);
+    }
+    kernel_->UnassignProcessor(proc);
+    lender->sa()->OnProcessorRevoked(proc, caller);
+    AddressSpace* home = loan.lender;
+    if (home != nullptr && IsRegistered(home) && !home->reaped()) {
+      Grant(proc, home);
+    } else {
+      free_.PushBack(proc);
+    }
+    RebalanceInternal();
+    return;
+  }
+  AddressSpace* borrower = PickBorrower(lender);
+  if (borrower == nullptr) {
+    // The taker vanished between the hint and the downcall charge: detach
+    // and pool the processor; the rebalance re-grants it if anyone wants it.
+    kernel_->UnassignProcessor(proc);
+    lender->sa()->OnProcessorRevoked(proc, caller);
+    free_.PushBack(proc);
+    RebalanceInternal();
+    return;
+  }
+  Loan loan;
+  loan.proc = proc;
+  loan.lender = lender;
+  loan.borrower = borrower;
+  loan.epoch = ++loan_epoch_;
+  loan.granted_at = kernel_->engine().now();
+  loans_[proc->id()] = loan;
+  lender->loan_state().loaned_out += 1;
+  borrower->loan_state().borrowed_in += 1;
+  ++lender->loan_state().lends;
+  ++borrower->loan_state().borrows;
+  ++kernel_->counters().loans_granted;
+  kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanGrant,
+                              proc->id(), lender->id(), loan.epoch,
+                              static_cast<uint64_t>(borrower->id()));
+  kernel_->UnassignProcessor(proc);
+  lender->sa()->OnProcessorRevoked(proc, caller);
+  Grant(proc, borrower);
+  RecordDemand(lender);
+  RefreshDerived(lender);
+  RebalanceInternal();
+}
+
+void ProcessorAllocator::RecallExcessLoans(AddressSpace* lender) {
+  if (!lending_enabled() || !IsRegistered(lender) || lender->reaped()) {
+    return;
+  }
+  const int assigned = static_cast<int>(lender->assigned().size());
+  if (lender->desired_processors() > assigned &&
+      lender->loan_state().loaned_out > 0) {
+    ReclaimLoans(lender, std::min(lender->loan_state().loaned_out,
+                                  lender->desired_processors() - assigned));
+  }
+}
+
+void ProcessorAllocator::ReclaimLoans(AddressSpace* lender, int k) {
+  for (int i = 0; i < k; ++i) {
+    // Newest loan not already being recalled.
+    Loan* pick = nullptr;
+    for (auto& [pid, loan] : loans_) {
+      if (loan.lender == lender && !loan.reclaiming &&
+          (pick == nullptr || loan.epoch > pick->epoch)) {
+        pick = &loan;
+      }
+    }
+    if (pick == nullptr) {
+      return;
+    }
+    ++decisions_;
+    pick->reclaiming = true;
+    pick->reclaim_issued_at = kernel_->engine().now();
+    ++lender->loan_state().reclaims;
+    kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanReclaimIssue,
+                                pick->proc->id(), lender->id(), pick->epoch, 0);
+    hw::Processor* proc = pick->proc;
+    const uint64_t epoch = pick->epoch;
+    // Instant-reclaim fast path: an idle borrower processor comes back
+    // synchronously, with zero recall latency and no preemption at all.
+    if (kernel_->IdleInKernel(proc)) {
+      const Loan loan = *pick;
+      CloseLoan(loan, static_cast<int>(trace::LoanReturnReason::kReclaimFast));
+      ++kernel_->counters().loans_reclaimed;
+      ++kernel_->counters().loans_reclaimed_fast;
+      reclaim_latency_.Add(0);
+      kernel_->UnassignProcessor(proc);
+      if (loan.borrower->mode() == AsMode::kSchedulerActivations &&
+          !loan.borrower->reaped()) {
+        loan.borrower->sa()->OnProcessorRevoked(proc, nullptr);
+      }
+      Grant(proc, lender);
+      continue;
+    }
+    // Busy borrower: a single bounded-latency preemption (no grant-loop
+    // renegotiation), optionally held back by the fault injector to
+    // exercise the deadline watchdog.
+    inject::FaultInjector* injector = kernel_->injector();
+    const sim::Duration delay =
+        injector != nullptr ? injector->LoanReclaimDelay() : 0;
+    if (delay > 0) {
+      const int pid2 = proc->id();
+      kernel_->engine().ScheduleIn(delay, [this, pid2, epoch] {
+        IssueReclaimIpi(pid2, epoch);
+      });
+    } else {
+      IssueReclaimIpi(proc->id(), epoch);
+    }
+    ArmLoanDeadline(proc->id(), epoch);
+  }
+}
+
+void ProcessorAllocator::IssueReclaimIpi(int proc_id, uint64_t epoch) {
+  auto it = loans_.find(proc_id);
+  if (it == loans_.end() || it->second.epoch != epoch || !it->second.reclaiming) {
+    return;  // settled (teardown, hint-back) while the issue was in flight
+  }
+  Loan& loan = it->second;
+  loan.ipi_sent = true;
+  hw::Processor* proc = loan.proc;
+  if (kernel_->IdleInKernel(proc)) {
+    // The borrower went idle while the issue (or an injected delay) was
+    // pending: synchronous completion, no preemption needed.
+    const Loan copy = loan;
+    CloseLoan(copy, static_cast<int>(trace::LoanReturnReason::kReclaimFast));
+    ++kernel_->counters().loans_reclaimed;
+    ++kernel_->counters().loans_reclaimed_fast;
+    reclaim_latency_.Add(kernel_->engine().now() - copy.reclaim_issued_at);
+    kernel_->UnassignProcessor(proc);
+    if (copy.borrower->mode() == AsMode::kSchedulerActivations &&
+        !copy.borrower->reaped()) {
+      copy.borrower->sa()->OnProcessorRevoked(proc, nullptr);
+    }
+    AddressSpace* lender = copy.lender;
+    if (lender != nullptr && IsRegistered(lender) && !lender->reaped()) {
+      Grant(proc, lender);
+    } else {
+      free_.PushBack(proc);
+    }
+    RebalanceInternal();
+    return;
+  }
+  PendingAction action;
+  action.kind = PendingAction::Kind::kLoanReclaim;
+  action.loan_epoch = epoch;
+  // A false return (slot already latched) is tolerated: the deadline
+  // watchdog retries until the loan settles or the borrower is quarantined.
+  kernel_->RequestPreemption(proc, action);
+}
+
+void ProcessorAllocator::OnLoanReclaimPreempted(hw::Processor* proc, uint64_t epoch) {
+  auto it = loans_.find(proc->id());
+  if (it == loans_.end() || it->second.epoch != epoch) {
+    return;  // settled by adoption/teardown while the interrupt was in flight
+  }
+  // Settle the ledger at preempt time — before the processor detaches — so
+  // the borrower's entitlement never transiently dips below its holdings.
+  const Loan loan = it->second;
+  CloseLoan(loan, static_cast<int>(trace::LoanReturnReason::kReclaimPreempt));
+  ++kernel_->counters().loans_reclaimed;
+  PendingReturn ret;
+  ret.lender = loan.lender;
+  ret.issued_at = loan.reclaim_issued_at;
+  return_to_[proc->id()] = ret;
+}
+
+void ProcessorAllocator::OnLoanReclaimComplete(AddressSpace* old_as,
+                                               hw::Processor* proc) {
+  (void)old_as;  // the ledger was settled in OnLoanReclaimPreempted
+  ++decisions_;
+  AddressSpace* lender = nullptr;
+  sim::Time issued_at = -1;
+  auto rt = return_to_.find(proc->id());
+  if (rt != return_to_.end()) {
+    lender = rt->second.lender;
+    issued_at = rt->second.issued_at;
+    return_to_.erase(rt);
+  }
+  if (issued_at >= 0) {
+    reclaim_latency_.Add(kernel_->engine().now() - issued_at);
+  }
+  if (lender != nullptr && IsRegistered(lender) && !lender->reaped()) {
+    Grant(proc, lender);
+  } else {
+    free_.PushBack(proc);
+  }
+  RebalanceInternal();
+}
+
+void ProcessorAllocator::ArmLoanDeadline(int proc_id, uint64_t epoch) {
+  auto it = loans_.find(proc_id);
+  if (it == loans_.end() || it->second.epoch != epoch) {
+    return;
+  }
+  // The deadline doubles per unanswered ping (space_reaper's ladder shape).
+  const int pings = std::min(it->second.pings, 20);
+  const sim::Duration delay = kernel_->config().lending.reclaim_deadline << pings;
+  kernel_->engine().ScheduleIn(delay, [this, proc_id, epoch] {
+    OnLoanDeadline(proc_id, epoch);
+  });
+}
+
+void ProcessorAllocator::OnLoanDeadline(int proc_id, uint64_t epoch) {
+  auto it = loans_.find(proc_id);
+  if (it == loans_.end() || it->second.epoch != epoch || !it->second.reclaiming) {
+    return;  // the loan settled in time
+  }
+  Loan& loan = it->second;
+  ++loan.pings;
+  ++kernel_->counters().loan_deadline_pings;
+  kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanDeadlinePing,
+                              proc_id, loan.lender->id(), epoch,
+                              static_cast<uint64_t>(loan.pings));
+  if (loan.pings >= kernel_->config().lending.max_pings) {
+    // The borrower sat on the reclaim deadline: force-revoke.  Quarantining
+    // it through the reaper settles every loan it touches
+    // (ResolveLoansForTeardown) and routes this processor home via
+    // return_to_ when the teardown revocation lands.
+    const Loan copy = loan;
+    ++kernel_->counters().loans_force_revoked;
+    kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanForceRevoke,
+                                proc_id, copy.lender->id(), epoch,
+                                static_cast<uint64_t>(copy.borrower->id()));
+    if (!copy.borrower->reaped()) {
+      kernel_->reaper()->BeginTeardown(copy.borrower, TeardownCause::kHoarded);
+    }
+    return;
+  }
+  if (loan.ipi_sent) {
+    // The interrupt was actually issued but the preemption slot was taken;
+    // retry.  (While an injected delay still holds the issue back, pings
+    // escalate without re-issuing — that is what makes force-revocation
+    // reachable under a reclaim-delay fault.)
+    IssueReclaimIpi(proc_id, epoch);
+  }
+  ArmLoanDeadline(proc_id, epoch);
+}
+
+void ProcessorAllocator::AdoptLoan(Loan loan) {
+  ++decisions_;
+  ++kernel_->counters().loans_adopted;
+  kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanAdopt,
+                              loan.proc->id(), loan.lender->id(), loan.epoch,
+                              static_cast<uint64_t>(loan.borrower->id()));
+  // Adoption is an ownership transfer, not a return: no kLoanReturn record,
+  // no processor motion — the borrower's entitlement absorbs the processor
+  // it already holds.
+  CloseLoan(loan, /*reason=*/-1);
+  rerun_ = true;  // entitlements moved; re-derive targets if mid-rebalance
+}
+
+void ProcessorAllocator::CloseLoan(const Loan& loan, int reason) {
+  auto it = loans_.find(loan.proc->id());
+  SA_CHECK(it != loans_.end() && it->second.epoch == loan.epoch);
+  loans_.erase(it);
+  AddressSpace* lender = loan.lender;
+  AddressSpace* borrower = loan.borrower;
+  SA_CHECK(lender->loan_state().loaned_out > 0);
+  SA_CHECK(borrower->loan_state().borrowed_in > 0);
+  --lender->loan_state().loaned_out;
+  --borrower->loan_state().borrowed_in;
+  if (reason >= 0) {
+    kernel_->engine().TraceEmit(trace::cat::kLending, trace::Kind::kLoanReturn,
+                                loan.proc->id(), lender->id(), loan.epoch,
+                                static_cast<uint64_t>(reason));
+  }
+  if (IsRegistered(lender)) {
+    RecordDemand(lender);
+    RefreshDerived(lender);
+  }
+  if (IsRegistered(borrower)) {
+    RecordDemand(borrower);
+    RefreshDerived(borrower);
+  }
+}
+
+void ProcessorAllocator::ResolveLoansForTeardown(AddressSpace* as) {
+  if (loans_.empty()) {
+    return;
+  }
+  ++decisions_;
+  std::vector<Loan> lender_side;
+  std::vector<Loan> borrower_side;
+  for (const auto& [pid, loan] : loans_) {
+    if (loan.lender == as) {
+      lender_side.push_back(loan);
+    } else if (loan.borrower == as) {
+      borrower_side.push_back(loan);
+    }
+  }
+  // Lender death: each loan becomes the borrower's outright — adoption, no
+  // processor motion, machine-wide conservation intact.
+  for (const Loan& loan : lender_side) {
+    AdoptLoan(loan);
+  }
+  // Borrower death: the processor comes home.  The reaper's teardown sweep
+  // revokes every assigned processor; return_to_ reroutes these from the
+  // free pool back to their lenders when those revocations land.
+  for (const Loan& loan : borrower_side) {
+    const bool was_reclaiming = loan.reclaiming;
+    CloseLoan(loan, static_cast<int>(trace::LoanReturnReason::kBorrowerDeath));
+    if (was_reclaiming) {
+      ++kernel_->counters().loans_reclaimed;
+    }
+    PendingReturn ret;
+    ret.lender = loan.lender;
+    ret.issued_at = was_reclaiming ? loan.reclaim_issued_at : sim::Time{-1};
+    return_to_[loan.proc->id()] = ret;
+  }
 }
 
 }  // namespace sa::kern

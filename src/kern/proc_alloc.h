@@ -53,6 +53,7 @@
 #include "src/common/rng.h"
 #include "src/hw/processor.h"
 #include "src/kern/address_space.h"
+#include "src/trace/histogram.h"
 
 namespace sa::kern {
 
@@ -132,6 +133,51 @@ class ProcessorAllocator {
   // bench_alloc_scale).
   int64_t decisions() const { return decisions_; }
 
+  // ---- cross-space lending (DESIGN.md §16) ----
+  // Every entry point below is inert unless Config::lending.enabled.
+
+  // Is `proc` currently out on loan (ledger entry open)?
+  bool IsOnLoan(const hw::Processor* proc) const {
+    return loans_.count(proc->id()) > 0;
+  }
+  int loans_outstanding() const { return static_cast<int>(loans_.size()); }
+
+  // Would some space take a processor from `lender` right now?  Cost-free
+  // query the SA yield-hint downcall uses to decline without perturbation.
+  bool WantsLoanFrom(AddressSpace* lender);
+
+  // An SA space's idle vcpu offered its processor (yield-hint downcall,
+  // accepted path): stop `caller`, detach `proc` from `lender`, and lend it
+  // to the neediest space.  The lender keeps its entitlement — the loan is
+  // recalled the instant its demand returns.
+  void LendYieldedProcessor(AddressSpace* lender, hw::Processor* proc,
+                            KThread* caller);
+
+  // Recall loans if `lender`'s demand exceeds its physical holdings.  The
+  // yield-hint downcall calls this after its post-lend demand update: a
+  // lying hint (or a demand rise racing the downcall) leaves desired
+  // unchanged, so SetDesired sees no edge and the edge-triggered recall in
+  // UpdateLoanStateOnDesired never fires.
+  void RecallExcessLoans(AddressSpace* lender);
+
+  // A kLoanReclaim interrupt landed on `proc` (kernel HandleAction, before
+  // the processor is detached): settle the ledger and record where the
+  // processor must return.  Tolerates a loan already settled by teardown or
+  // adoption while the interrupt was in flight.
+  void OnLoanReclaimPreempted(hw::Processor* proc, uint64_t epoch);
+  // The kLoanReclaim preemption's kernel span finished: hand the processor
+  // straight back to its lender (no grant-loop renegotiation).
+  void OnLoanReclaimComplete(AddressSpace* old_as, hw::Processor* proc);
+
+  // Teardown hook (space_reaper): settle every loan touching `as` before
+  // its processors are revoked.  Lender death transfers ownership to the
+  // borrower (adoption); borrower death routes the processor back to its
+  // lender with conservation intact.
+  void ResolveLoansForTeardown(AddressSpace* as);
+
+  // Loan-recall latency (reclaim issue -> processor back with the lender).
+  const trace::LatencyHistogram& reclaim_latency() const { return reclaim_latency_; }
+
  private:
   // One priority tier.  Members are tracked in id order; demands are
   // mirrored into Fenwick trees over clamped demand values 1..P+1 (any
@@ -160,6 +206,63 @@ class ProcessorAllocator {
     int64_t capped_sum = 0;
     int uncapped = 0;
   };
+
+  // One open loan.  Keyed by processor id in loans_; at most one loan per
+  // processor (no chains: a borrower never re-lends).
+  struct Loan {
+    hw::Processor* proc = nullptr;
+    AddressSpace* lender = nullptr;
+    AddressSpace* borrower = nullptr;
+    uint64_t epoch = 0;  // unique, monotone; tags trace records and events
+    sim::Time granted_at = 0;
+    sim::Time reclaim_issued_at = 0;
+    bool reclaiming = false;
+    bool ipi_sent = false;  // the reclaim interrupt has actually been issued
+                            // (false while an injected delay holds it back)
+    int pings = 0;          // unanswered reclaim-deadline watchdog pings
+  };
+
+  // Where a processor detaching from a settled loan must land: back with
+  // its lender.  `issued_at >= 0` marks a demand-return reclaim whose
+  // latency should be recorded at completion.
+  struct PendingReturn {
+    AddressSpace* lender = nullptr;
+    sim::Time issued_at = -1;
+  };
+
+  bool lending_enabled() const;
+  // A space's entitlement: processors it owns outright.  Loaned-out
+  // processors still count toward the lender; borrowed ones never count
+  // toward the borrower.  Equals assigned().size() when lending is off.
+  int Entitled(const AddressSpace* as) const;
+  // Demand as the tier aggregates should see it: raw desired, floored at
+  // the entitlement while a space has loans out or a dip window open (the
+  // floor is what keeps §4.1 from revoking a dipped lender's surplus before
+  // the hysteresis expires or the loan recall lands).
+  int EffectiveDemand(const AddressSpace* as) const;
+  // SetDesired pre-pass: recalls loans when demand returns, arms/cancels
+  // the kt dip-hysteresis window.  No-op when lending is off.
+  void UpdateLoanStateOnDesired(AddressSpace* as);
+  void OnDipDeadline(AddressSpace* as, uint64_t epoch);
+  // Lends ripe kt dip surplus to the neediest spaces (rebalance tail pass).
+  void LendSurplus();
+  AddressSpace* PickBorrower(const AddressSpace* lender);
+  void LendOne(hw::Processor* proc, AddressSpace* lender, AddressSpace* borrower);
+  // Recalls up to `k` of `lender`'s loans, newest first.  Idle borrower
+  // processors come back synchronously (the instant-reclaim fast path);
+  // busy ones get a kLoanReclaim preemption with a deadline watchdog.
+  void ReclaimLoans(AddressSpace* lender, int k);
+  void IssueReclaimIpi(int proc_id, uint64_t epoch);
+  void ArmLoanDeadline(int proc_id, uint64_t epoch);
+  void OnLoanDeadline(int proc_id, uint64_t epoch);
+  // Converts a loan into an ownership transfer (no processor motion): the
+  // pressured lender stops vouching for it and the borrower's entitlement
+  // absorbs it.  Used when §4.1 wants the lender's capacity back for a
+  // higher claim, and when a lender dies.
+  void AdoptLoan(Loan loan);
+  // Closes the ledger entry and both sides' counters.  `reason` feeds the
+  // kLoanReturn trace record.
+  void CloseLoan(const Loan& loan, int reason);
 
   bool use_incremental() const;
   int Clamp(int demand) const;
@@ -215,6 +318,15 @@ class ProcessorAllocator {
   int64_t decisions_ = 0;
   bool rebalancing_ = false;
   bool rerun_ = false;
+
+  // ---- lending state (all empty/zero unless Config::lending.enabled) ----
+  std::map<int, Loan> loans_;  // open loans by processor id
+  uint64_t loan_epoch_ = 0;
+  std::set<int> lendable_;  // ids of spaces with a ripe dip window
+  // Settled loans whose processor is still detaching: route it back to the
+  // recorded lender instead of the free pool when the revocation lands.
+  std::map<int, PendingReturn> return_to_;
+  trace::LatencyHistogram reclaim_latency_;
 };
 
 }  // namespace sa::kern

@@ -27,6 +27,7 @@ const char* TeardownCauseName(TeardownCause c) {
     case TeardownCause::kCrashed: return "crashed";
     case TeardownCause::kHung: return "hung";
     case TeardownCause::kExited: return "exited";
+    case TeardownCause::kHoarded: return "hoarded";
   }
   return "?";
 }
@@ -159,6 +160,7 @@ void SpaceReaper::BeginTeardown(AddressSpace* as, TeardownCause cause) {
     case TeardownCause::kCrashed: ++stats_.crashes; break;
     case TeardownCause::kHung: ++stats_.hangs; break;
     case TeardownCause::kExited: ++stats_.exits; break;
+    case TeardownCause::kHoarded: ++stats_.hoards; break;
     case TeardownCause::kNone: break;
   }
   kernel_->engine().TraceEmit(trace::cat::kLifecycle,
@@ -226,6 +228,11 @@ void SpaceReaper::BeginTeardown(AddressSpace* as, TeardownCause cause) {
   //    without notifying the dead runtime.
   ProcessorAllocator* alloc = kernel_->allocator();
   if (alloc != nullptr) {
+    // Settle every loan touching the space first: a dead lender's loans
+    // become the borrowers' outright (adoption); a dead borrower's loans
+    // close now so the revocation sweep below routes those processors back
+    // to their lenders instead of the free pool.
+    alloc->ResolveLoansForTeardown(as);
     alloc->SetDesired(as, 0);
     std::vector<hw::Processor*> held(as->assigned());
     for (hw::Processor* proc : held) {
@@ -332,6 +339,14 @@ std::string SpaceReaper::ConservationReport(const AddressSpace* as) const {
   ProcessorAllocator* alloc = kernel_->allocator_.get();
   if (alloc != nullptr && alloc->IsRegistered(as)) {
     leak += "allocator still tracks the space; ";
+  }
+  if (as->loan_state().loaned_out != 0) {
+    leak += "space still has " + std::to_string(as->loan_state().loaned_out) +
+            " processors out on loan; ";
+  }
+  if (as->loan_state().borrowed_in != 0) {
+    leak += "space still holds " + std::to_string(as->loan_state().borrowed_in) +
+            " borrowed processors; ";
   }
   return leak;
 }

@@ -64,6 +64,9 @@ struct ReaperStats {
   int64_t io_discarded = 0;
   int64_t procs_returned = 0;
   int64_t hang_pings = 0;
+  // Borrowers force-revoked by the loan reclaim-deadline watchdog
+  // (TeardownCause::kHoarded).
+  int64_t hoards = 0;
 };
 
 class SpaceReaper {

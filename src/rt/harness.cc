@@ -351,7 +351,8 @@ void Harness::ScheduleLifecycleFault(sim::Duration at, int space_index,
         kernel_.reaper()->InjectExit(as);
         break;
       case kern::TeardownCause::kNone:
-        break;
+      case kern::TeardownCause::kHoarded:
+        break;  // kHoarded is reaper-detected, never injected directly
     }
   });
 }

@@ -58,6 +58,11 @@ class MisbehavingRuntime : public Runtime, private kern::KThreadHost {
   int64_t upcall_events_ignored() const { return upcall_events_ignored_; }
   int64_t lies_told() const { return lies_told_; }
   int64_t preemptions_dropped() const { return preemptions_dropped_; }
+  // Cross-space lending: loans this space received as borrower — and, being
+  // a hoarder, never volunteered back.  It burns on every processor it
+  // holds, so each reclaim must preempt it (no fast path); with an injected
+  // reclaim delay it sits on the deadline until force-revoked.
+  int64_t loans_hoarded() const { return as_->loan_state().borrows; }
 
  private:
   // kern::KThreadHost (activation contexts):

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/table.h"
+#include "src/kern/proc_alloc.h"
 
 namespace sa::rt {
 
@@ -39,6 +40,18 @@ RunReport MakeReport(Harness& harness) {
   if (harness.injector() != nullptr) {
     report.inject_active = true;
     report.inject = harness.injector()->stats();
+  }
+  if (harness.kernel().config().lending.enabled) {
+    report.lending_active = true;
+    report.reclaim_latency = harness.kernel().allocator()->reclaim_latency();
+    for (const auto& as : harness.kernel().spaces()) {
+      const kern::AddressSpace::LoanState& ls = as->loan_state();
+      if (ls.lends == 0 && ls.borrows == 0) {
+        continue;
+      }
+      report.lending_spaces.push_back(
+          {as->name(), as->id(), ls.lends, ls.borrows, ls.reclaims});
+    }
   }
   report.reaper = harness.kernel().reaper()->stats();
   report.teardowns = harness.kernel().reaper()->teardowns();
@@ -162,6 +175,41 @@ std::string RunReport::ToString() const {
                   static_cast<long long>(inject.storm_revocations),
                   static_cast<long long>(inject.degraded_transitions));
     out += buf;
+  }
+  if (lending_active) {
+    std::snprintf(buf, sizeof(buf),
+                  "loans: %lld granted, %lld reclaimed (%lld fast), "
+                  "%lld adopted, %lld force-revoked, %lld deadline pings | "
+                  "yield hints: %lld taken, %lld declined\n",
+                  static_cast<long long>(counters.loans_granted),
+                  static_cast<long long>(counters.loans_reclaimed),
+                  static_cast<long long>(counters.loans_reclaimed_fast),
+                  static_cast<long long>(counters.loans_adopted),
+                  static_cast<long long>(counters.loans_force_revoked),
+                  static_cast<long long>(counters.loan_deadline_pings),
+                  static_cast<long long>(counters.downcalls_yield_hint),
+                  static_cast<long long>(counters.yield_hints_declined));
+    out += buf;
+    if (reclaim_latency.count() > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "loan reclaim latency (recall -> home): n=%llu p50 %s, "
+                    "p99 %s, p999 %s, max %s\n",
+                    static_cast<unsigned long long>(reclaim_latency.count()),
+                    sim::FormatDuration(reclaim_latency.Quantile(0.5)).c_str(),
+                    sim::FormatDuration(reclaim_latency.Quantile(0.99)).c_str(),
+                    sim::FormatDuration(reclaim_latency.Quantile(0.999)).c_str(),
+                    sim::FormatDuration(reclaim_latency.max()).c_str());
+      out += buf;
+    }
+    for (const LendingSpaceRow& row : lending_spaces) {
+      std::snprintf(buf, sizeof(buf),
+                    "  space %d (%s): lent %lld, borrowed %lld, recalled %lld\n",
+                    row.as_id, row.name.c_str(),
+                    static_cast<long long>(row.lends),
+                    static_cast<long long>(row.borrows),
+                    static_cast<long long>(row.reclaims));
+      out += buf;
+    }
   }
   if (hierarchical) {
     std::snprintf(buf, sizeof(buf),

@@ -58,6 +58,23 @@ struct RunReport {
   // with fault injection enabled.
   bool inject_active = false;
   inject::InjectStats inject;
+  // Cross-space lending (DESIGN.md §16); populated when the run was
+  // configured with Config::lending.enabled (counter totals live in
+  // `counters`; these add the recall-latency distribution and the per-space
+  // breakdown).
+  bool lending_active = false;
+  // Reclaim-issue -> processor-home latency (ns); 0 entries are fast-path
+  // recalls of idle borrower processors.
+  trace::LatencyHistogram reclaim_latency;
+  struct LendingSpaceRow {
+    std::string name;
+    int as_id = 0;
+    int64_t lends = 0;     // loans granted as lender
+    int64_t borrows = 0;   // loans received as borrower
+    int64_t reclaims = 0;  // recalls issued when demand returned
+  };
+  // Spaces that touched the loan ledger, in creation order.
+  std::vector<LendingSpaceRow> lending_spaces;
   // Address-space teardown totals and per-space post-mortems (DESIGN.md
   // §12); empty unless lifecycle faults fired.
   kern::ReaperStats reaper;

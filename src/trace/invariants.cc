@@ -38,6 +38,26 @@ struct SpaceUltState {
   std::map<uint64_t, IdleState> vcpus;
 };
 
+// Open cross-space loan interval, keyed by processor (the ledger key: a
+// processor carries at most one open loan).
+struct LoanInterval {
+  uint64_t epoch = 0;
+  int32_t lender = -1;
+  int64_t reclaim_ts = -1;  // kLoanReclaimIssue ts; -1 = no recall pending
+};
+
+void FlagLoanOverdue(int32_t cpu, const LoanInterval& loan, int64_t end,
+                     const char* how, CheckResult* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "loan outlived reclaim deadline: cpu %d lent by as %d "
+                "(epoch %" PRIu64 ") reclaimed at t=%" PRId64 " but %s %" PRId64
+                "ns later",
+                cpu, loan.lender, loan.epoch, loan.reclaim_ts, how,
+                end - loan.reclaim_ts);
+  out->violations.push_back(buf);
+}
+
 void FinalizeVessel(int as_id, VesselState* vs, CheckResult* out) {
   if (!vs->has_candidate) {
     return;
@@ -89,7 +109,8 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
   CheckResult out;
   std::map<int32_t, VesselState> vessel;
   std::map<int32_t, SpaceUltState> ult;
-  std::map<int32_t, int64_t> dead;  // as_id -> teardown-done ts
+  std::map<int32_t, int64_t> dead;   // as_id -> teardown-done ts
+  std::map<int32_t, LoanInterval> loans;  // cpu -> open loan
 
   auto idle_overlap_start = [](const SpaceUltState& s, const IdleState& v) {
     return v.since > s.runnable_since ? v.since : s.runnable_since;
@@ -120,6 +141,58 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
       }
       case Kind::kLifeTeardownDone: {
         dead[r.as_id] = r.ts;
+        break;
+      }
+      case Kind::kLoanGrant: {
+        auto [it, inserted] = loans.try_emplace(r.cpu);
+        if (!inserted) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "loan double-grant: cpu %d lent by as %d at t=%" PRId64
+                        " (epoch %" PRIu64 ") while epoch %" PRIu64
+                        " from as %d is still open",
+                        r.cpu, r.as_id, r.ts, r.arg0, it->second.epoch,
+                        it->second.lender);
+          out.violations.push_back(buf);
+        }
+        it->second = LoanInterval{r.arg0, r.as_id, -1};
+        break;
+      }
+      case Kind::kLoanReclaimIssue: {
+        auto it = loans.find(r.cpu);
+        if (it == loans.end() || it->second.epoch != r.arg0) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "reclaim of unknown loan: cpu %d as %d epoch %" PRIu64
+                        " at t=%" PRId64,
+                        r.cpu, r.as_id, r.arg0, r.ts);
+          out.violations.push_back(buf);
+          break;
+        }
+        if (it->second.reclaim_ts < 0) {  // retries keep the first deadline
+          it->second.reclaim_ts = r.ts;
+        }
+        break;
+      }
+      case Kind::kLoanReturn:
+      case Kind::kLoanAdopt: {
+        auto it = loans.find(r.cpu);
+        if (it == loans.end() || it->second.epoch != r.arg0) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s of unknown loan: cpu %d as %d epoch %" PRIu64
+                        " at t=%" PRId64,
+                        kind == Kind::kLoanAdopt ? "adoption" : "return", r.cpu,
+                        r.as_id, r.arg0, r.ts);
+          out.violations.push_back(buf);
+          break;
+        }
+        ++out.loan_checks;
+        if (it->second.reclaim_ts >= 0 &&
+            r.ts - it->second.reclaim_ts > options.loan_reclaim_bound) {
+          FlagLoanOverdue(r.cpu, it->second, r.ts, "only closed", &out);
+        }
+        loans.erase(it);
         break;
       }
       case Kind::kVessel: {
@@ -212,6 +285,13 @@ CheckResult CheckInvariants(const std::vector<Record>& records,
     FinalizeVessel(as_id, &vs, &out);
   }
   int64_t end_ts = records.empty() ? 0 : records.back().ts;
+  // Loans with no recall pending may stay open past the end of the trace;
+  // a reclaim-issued loan still open past the bound is a containment breach.
+  for (const auto& [cpu, loan] : loans) {
+    if (loan.reclaim_ts >= 0 && end_ts - loan.reclaim_ts > options.loan_reclaim_bound) {
+      FlagLoanOverdue(cpu, loan, end_ts, "still open at trace end", &out);
+    }
+  }
   for (auto& [as_id, s] : ult) {
     if (s.runnable == 0) {
       continue;

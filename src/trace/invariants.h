@@ -14,7 +14,18 @@
 //     fault while the processor sits in the kernel), which the space brackets
 //     with kUpcallFaultBegin/kUpcallFaultEnd records.
 //
-//  2. No idle processor while ready work exists: a vcpu that stays
+//  2. No loan outlives its reclaim deadline (DESIGN.md §16): every
+//     cat::kLending kLoanGrant opens an interval on its processor that must
+//     be closed by exactly one kLoanReturn or kLoanAdopt with a matching
+//     epoch, and once a kLoanReclaimIssue fires the closure must land within
+//     `loan_reclaim_bound`.  The bound covers the full watchdog ladder
+//     (deadline, doubled per ping, through force-revocation and the
+//     synchronous teardown settle) so a clean force-revoke passes; only a
+//     borrower that holds a processor past the ladder — a real containment
+//     failure — trips it.  Loans with no reclaim outstanding may stay open
+//     arbitrarily long, including across the end of the trace.
+//
+//  3. No idle processor while ready work exists: a vcpu that stays
 //     idle-spinning (kUltIdle without a matching kUltIdleWake/kUltDispatch/
 //     kUltUnbind) while its space's runnable count (kUltRunnable) stays
 //     positive for longer than `idle_ready_threshold` is a lost wakeup.  The
@@ -45,11 +56,17 @@ struct CheckOptions {
   // in-flight window, see above) with slack for the preceding interrupt and
   // dispatch charges.
   int64_t idle_ready_threshold = 3'000'000;
+  // Max duration a reclaim-issued loan may stay open (ns).  The default
+  // covers the untuned watchdog ladder at LendingConfig defaults —
+  // reclaim_deadline (5 ms) doubled per ping through max_pings (2), i.e.
+  // 5 + 10 = 15 ms to force-revocation — plus slack for the teardown settle.
+  int64_t loan_reclaim_bound = 20'000'000;
 };
 
 struct CheckResult {
   std::vector<std::string> violations;
   uint64_t vessel_checks = 0;  // snapshots asserted
+  uint64_t loan_checks = 0;    // loan intervals matched grant-to-close
   bool ok() const { return violations.empty(); }
   // All violations joined, for test failure messages.
   std::string Summary() const;

@@ -67,6 +67,13 @@ const char* KindName(Kind kind) {
     case Kind::kLocStealRemote: return "loc-steal-remote";
     case Kind::kLocWarmGrant: return "loc-warm-grant";
     case Kind::kLocColdGrant: return "loc-cold-grant";
+    case Kind::kLoanGrant: return "loan-grant";
+    case Kind::kLoanReclaimIssue: return "loan-reclaim-issue";
+    case Kind::kLoanReturn: return "loan-return";
+    case Kind::kLoanForceRevoke: return "loan-force-revoke";
+    case Kind::kLoanAdopt: return "loan-adopt";
+    case Kind::kLoanYieldHint: return "loan-yield-hint";
+    case Kind::kLoanDeadlinePing: return "loan-deadline-ping";
   }
   return "?";
 }

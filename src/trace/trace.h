@@ -40,6 +40,7 @@ inline constexpr uint32_t kFibers = 1u << 5;     // native fiber pool (host cloc
 inline constexpr uint32_t kInject = 1u << 6;     // fault-injection layer
 inline constexpr uint32_t kLifecycle = 1u << 7;  // address-space teardown/reap
 inline constexpr uint32_t kLocality = 1u << 8;   // topology: migrations, locality
+inline constexpr uint32_t kLending = 1u << 9;    // cross-space processor loans
 inline constexpr uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -134,6 +135,27 @@ enum class Kind : uint16_t {
   kLocColdGrant = 132,      // granted a processor last owned by another
                             // space (or never owned); arg0 = socket,
                             // arg1 = previous owner space id + 1 (0 = none)
+
+  // cat::kLending — cross-space processor loans (DESIGN.md §16).  `as_id` is
+  // the lender throughout; arg0 is the loan epoch unless noted.  Emitted only
+  // with Config::lending.enabled, so seeded traces without lending are
+  // byte-identical.
+  kLoanGrant = 144,          // cpu lent; arg1 = borrower space id
+  kLoanReclaimIssue = 145,   // lender's demand returned; recall begins
+  kLoanReturn = 146,         // loan closed; arg1 = reason (LoanReturnReason)
+  kLoanForceRevoke = 147,    // watchdog gave up; arg1 = borrower space id
+  kLoanAdopt = 148,          // loan became an ownership transfer;
+                             // arg1 = borrower space id
+  kLoanYieldHint = 149,      // accepted SA yield-hint downcall; arg1 = cpu
+  kLoanDeadlinePing = 150,   // unanswered reclaim deadline; arg1 = ping
+};
+
+// arg1 of kLoanReturn.
+enum class LoanReturnReason : uint64_t {
+  kReclaimFast = 0,     // borrower idle: synchronous direct return
+  kReclaimPreempt = 1,  // borrower preempted by the kLoanReclaim fast path
+  kBorrowerDeath = 2,   // teardown of the borrower returned it
+  kForced = 3,          // force-revoked (watchdog) or settled at teardown
 };
 
 const char* KindName(Kind kind);

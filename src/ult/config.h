@@ -32,6 +32,14 @@ struct UltConfig {
   // crosses the interconnect).  Off by default — the paper's plain rotation
   // scan, byte-identical on seeded traces.  No effect on flat machines.
   bool locality_aware_stealing = false;
+
+  // Cross-space lending (DESIGN.md §16): an idle virtual processor offers
+  // its physical processor to the kernel's loan pool (yield-hint downcall)
+  // after costs().lend_hint_hysteresis, well before the Section 4.2 idle
+  // notification.  Declined hints are cost-free, so with kernel lending
+  // disabled this flag perturbs nothing.  Only meaningful on the
+  // scheduler-activation backend with idle_hysteresis on.
+  bool lend_idle = false;
 };
 
 }  // namespace sa::ult

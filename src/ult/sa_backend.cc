@@ -54,6 +54,7 @@ Vcpu* SaBackend::BindSlot(kern::KThread* kt) {
     v->idle_spinning = false;
     v->idle_transition = false;
     v->idle_notified = false;
+    v->lend_hinted = false;
     v->hysteresis.Cancel();
     return v;
   }
@@ -66,6 +67,7 @@ Vcpu* SaBackend::BindSlot(kern::KThread* kt) {
       candidate->idle_spinning = false;
       candidate->idle_transition = false;
       candidate->idle_notified = false;
+      candidate->lend_hinted = false;
       by_proc_[pid] = candidate;
       return candidate;
     }
@@ -81,6 +83,7 @@ void SaBackend::UnbindSlot(Vcpu* v, int processor_id) {
   v->idle_spinning = false;
   v->idle_transition = false;
   v->idle_notified = false;
+  v->lend_hinted = false;
   v->hysteresis.Cancel();
   by_proc_.erase(processor_id);
 }
@@ -400,6 +403,29 @@ void SaBackend::OnIdle(Vcpu* v) {
   // Spin for the hysteresis period before notifying (Section 4.2).
   v->proc()->BeginOpenSpan(hw::SpanMode::kIdleSpin);
   Vcpu* vp = v;
+  if (ft_->config().lend_idle && kernel_->config().lending.enabled &&
+      !v->lend_hinted) {
+    // Lending (DESIGN.md §16): offer the processor to the kernel's loan
+    // pool first, after a short grace period.  A declined hint is cost-free
+    // and falls back to the normal idle path (this handler re-enters OnIdle
+    // with lend_hinted set); an accepted one stops this activation and the
+    // slot unbinds through the ordinary preempted upcall.
+    v->hysteresis = kernel_->engine().ScheduleAfter(
+        kernel_->costs().lend_hint_hysteresis, [this, vp] {
+          if (!vp->bound || !vp->idle_spinning) {
+            return;  // got work or lost the processor in the meantime
+          }
+          vp->lend_hinted = true;  // one offer per idle episode
+          ft_->BeginIdleTransition(vp);
+          vp->proc()->EndOpenSpan();
+          space_->DowncallYieldHint(vp->kt, [this, vp](bool accepted) {
+            if (!accepted) {
+              ft_->EndIdleTransition(vp);
+            }
+          });
+        });
+    return;
+  }
   v->hysteresis = kernel_->engine().ScheduleAfter(
       kernel_->costs().idle_hysteresis, [this, vp] {
         if (!vp->bound || !vp->idle_spinning) {
@@ -447,6 +473,7 @@ void SaBackend::OnThreadLoaded(Vcpu* v, Tcb* t) {
   // "machine state" the kernel ships back if the activation is stopped.
   v->kt->activation()->set_user_cookie(t);
   v->idle_notified = false;
+  v->lend_hinted = false;
 }
 
 void SaBackend::OnThreadUnloaded(Vcpu* v) {

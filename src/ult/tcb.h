@@ -92,6 +92,8 @@ struct Vcpu {
   // the end-of-transition re-check cannot miss it.
   bool idle_transition = false;
   bool idle_notified = false;  // told the kernel this processor is idle
+  bool lend_hinted = false;    // offered the processor to the loan pool this
+                               // idle episode (one yield hint per episode)
   sim::EventHandle hysteresis;
 
   hw::Processor* proc() const {

@@ -86,6 +86,39 @@ TEST(FaultPlan, RandomPlansRoundTripExactly) {
   }
 }
 
+TEST(FaultPlan, LendingFaultFieldsRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.reclaim_delay = 0.5;
+  plan.reclaim_delay_for = sim::Msec(40);
+  plan.yield_lie = 0.25;
+  EXPECT_TRUE(plan.active());
+
+  const std::string spec = plan.ToSpec();
+  EXPECT_NE(spec.find("reclaim_delay=0.5"), std::string::npos);
+  EXPECT_NE(spec.find("reclaim_delay_for="), std::string::npos);
+  EXPECT_NE(spec.find("yield_lie=0.25"), std::string::npos);
+
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(spec, &parsed, &error)) << spec << ": " << error;
+  EXPECT_TRUE(parsed == plan);
+  EXPECT_EQ(parsed.reclaim_delay_for, sim::Msec(40));
+
+  // Duration suffixes work for the lending delay too.
+  ASSERT_TRUE(
+      FaultPlan::Parse("seed=2,reclaim_delay=0.1,reclaim_delay_for=7ms,"
+                       "yield_lie=0.05",
+                       &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.reclaim_delay_for, sim::Msec(7));
+  EXPECT_EQ(parsed.yield_lie, 0.05);
+
+  // Defaults stay off the printed spec entirely.
+  EXPECT_EQ(FaultPlan{}.ToSpec().find("reclaim"), std::string::npos);
+  EXPECT_EQ(FaultPlan{}.ToSpec().find("yield_lie"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Injector decision streams.
 // ---------------------------------------------------------------------------
@@ -105,6 +138,44 @@ TEST(Injector, SameSeedSameDecisionStream) {
   }
   EXPECT_EQ(a.stats().faults_injected, b.stats().faults_injected);
   EXPECT_GT(a.stats().faults_injected, 0);
+}
+
+TEST(Injector, LendingHooksAreDeterministicAndInertAtZero) {
+  // Zero-probability lending hooks draw nothing from the RNG: the injected
+  // decision stream of an unrelated fault class is unperturbed by calling
+  // them (the zero-perturbation rule extends to the injector itself).
+  FaultPlan io_only;
+  io_only.seed = 21;
+  io_only.io_fail = 0.3;
+  FaultInjector plain(io_only);
+  FaultInjector interleaved(io_only);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(interleaved.LoanReclaimDelay(), 0);
+    EXPECT_FALSE(interleaved.ShouldLieYieldHint());
+    EXPECT_EQ(plain.ShouldFailIo(), interleaved.ShouldFailIo());
+  }
+  EXPECT_EQ(interleaved.stats().loan_reclaim_delays, 0);
+  EXPECT_EQ(interleaved.stats().yield_hint_lies, 0);
+
+  // With the classes armed, two same-seed injectors agree decision for
+  // decision, and fire with roughly the configured frequency.
+  FaultPlan plan;
+  plan.seed = 22;
+  plan.reclaim_delay = 0.5;
+  plan.reclaim_delay_for = sim::Msec(3);
+  plan.yield_lie = 0.5;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    const sim::Duration d = a.LoanReclaimDelay();
+    EXPECT_EQ(d, b.LoanReclaimDelay());
+    EXPECT_TRUE(d == 0 || d == sim::Msec(3));
+    EXPECT_EQ(a.ShouldLieYieldHint(), b.ShouldLieYieldHint());
+  }
+  EXPECT_EQ(a.stats().loan_reclaim_delays, b.stats().loan_reclaim_delays);
+  EXPECT_EQ(a.stats().yield_hint_lies, b.stats().yield_hint_lies);
+  EXPECT_GT(a.stats().loan_reclaim_delays, 100);
+  EXPECT_GT(a.stats().yield_hint_lies, 100);
 }
 
 TEST(Injector, AllocDenialsComeInBoundedBursts) {
@@ -467,6 +538,47 @@ TEST(Shrink, DropsIrrelevantFaultClasses) {
   EXPECT_EQ(result.plan.alloc_deny, 0.0);
   EXPECT_EQ(result.plan.storm_period, 0);
   EXPECT_GT(result.tests_run, 0);
+}
+
+TEST(Shrink, DropsLendingFaultsWhenIrrelevant) {
+  FaultPlan start = FaultPlan::Random(3);
+  start.io_fail = 0.4;
+  start.reclaim_delay = 0.4;
+  start.reclaim_delay_for = sim::Msec(25);
+  start.yield_lie = 0.3;
+  const inject::ShrinkResult result = inject::ShrinkPlan(
+      start, [](const FaultPlan& p) { return p.io_fail > 0.0; });
+  ASSERT_TRUE(result.failing);
+  EXPECT_GT(result.plan.io_fail, 0.0);
+  EXPECT_EQ(result.plan.reclaim_delay, 0.0);
+  EXPECT_EQ(result.plan.yield_lie, 0.0);
+}
+
+TEST(Shrink, KeepsAndMinimizesReclaimDelayCulprit) {
+  // Pure predicate standing in for a lending bug that needs a long injected
+  // recall delay: the shrinker must strip every other class, keep the
+  // reclaim-delay fault, and halve the delay down to the failure threshold.
+  FaultPlan start = FaultPlan::Random(9);
+  start.reclaim_delay = 0.8;
+  start.reclaim_delay_for = sim::Msec(64);
+  start.yield_lie = 0.3;
+  const inject::ShrinkResult result =
+      inject::ShrinkPlan(start, [](const FaultPlan& p) {
+        return p.reclaim_delay > 0.0 && p.reclaim_delay_for >= sim::Msec(8);
+      });
+  ASSERT_TRUE(result.failing);
+  EXPECT_GT(result.plan.reclaim_delay, 0.0);
+  EXPECT_GE(result.plan.reclaim_delay_for, sim::Msec(8));
+  EXPECT_LE(result.plan.reclaim_delay_for, sim::Msec(16));
+  EXPECT_EQ(result.plan.yield_lie, 0.0);
+  EXPECT_EQ(result.plan.io_fail, 0.0);
+  EXPECT_EQ(result.plan.storm_period, 0);
+
+  // The minimized spec still round-trips.
+  FaultPlan replay;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(result.plan.ToSpec(), &replay, &error)) << error;
+  EXPECT_TRUE(replay == result.plan);
 }
 
 TEST(Shrink, MinimizesInjectedBugToReplayableSpec) {

@@ -1,0 +1,514 @@
+// Cross-space processor lending (DESIGN.md §16).
+//
+// When a space's demand dips below its holdings past the hysteresis window,
+// the allocator lends the surplus to the neediest space instead of idling
+// it — but the lender keeps its entitlement, and the instant its demand
+// returns the loan is recalled through a bounded-latency revocation (no
+// grant-loop renegotiation).  A borrower that sits on the recall deadline is
+// force-revoked and quarantined through the space reaper.  These tests
+// drive the loan ledger end to end: dip-lending, yield-hint lending,
+// instant reclaim, the deadline watchdog, loan settlement across teardown
+// in both directions, churn with loans in flight, and the zero-perturbation
+// guarantee when the feature is disabled.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/inject/fault_plan.h"
+#include "src/kern/proc_alloc.h"
+#include "src/kern/space_reaper.h"
+#include "src/rt/harness.h"
+#include "src/rt/report.h"
+#include "src/rt/topaz_runtime.h"
+#include "src/trace/invariants.h"
+#include "src/traffic/traffic.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa {
+namespace {
+
+rt::HarnessConfig LendingConfig(int processors, uint64_t seed = 1) {
+  rt::HarnessConfig config;
+  config.processors = processors;
+  config.seed = seed;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  config.kernel.lending.enabled = true;
+  return config;
+}
+
+int CountKind(const std::vector<trace::Record>& records, trace::Kind kind,
+              int as_id = -1) {
+  int n = 0;
+  for (const trace::Record& r : records) {
+    if (static_cast<trace::Kind>(r.kind) == kind &&
+        (as_id < 0 || r.as_id == as_id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// A kernel-thread space whose demand oscillates: `threads` workers looping
+// compute `busy`, then sleep `quiet` in I/O.  While every worker sleeps the
+// space's demand is zero but its entitlement is not — the dip the lending
+// machinery feeds on.
+std::unique_ptr<rt::TopazRuntime> MakeOscillator(rt::Harness& h,
+                                                 const std::string& name,
+                                                 int threads, sim::Duration busy,
+                                                 sim::Duration quiet, int iters) {
+  auto kt = std::make_unique<rt::TopazRuntime>(&h.kernel(), name);
+  for (int i = 0; i < threads; ++i) {
+    kt->Spawn(
+        [busy, quiet, iters](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < iters; ++k) {
+            co_await t.Compute(busy);
+            co_await t.Io(quiet);
+          }
+        },
+        name + "-" + std::to_string(i));
+  }
+  return kt;
+}
+
+// An SA space that wants more processors than its fair share for the whole
+// run: `threads` compute-bound workers.
+std::unique_ptr<ult::UltRuntime> MakeHungrySpace(rt::Harness& h,
+                                                 const std::string& name,
+                                                 int threads, int iters,
+                                                 bool lend_idle = false) {
+  ult::UltConfig uc;
+  uc.max_vcpus = threads;
+  uc.lend_idle = lend_idle;
+  auto rt = std::make_unique<ult::UltRuntime>(
+      &h.kernel(), name, ult::BackendKind::kSchedulerActivations, uc);
+  for (int i = 0; i < threads; ++i) {
+    rt->Spawn(
+        [iters](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < iters; ++k) {
+            co_await t.Compute(sim::Usec(500));
+          }
+        },
+        name + "-" + std::to_string(i));
+  }
+  return rt;
+}
+
+// ---------------------------------------------------------------------------
+// Dip-lending and instant reclaim.
+// ---------------------------------------------------------------------------
+
+TEST(Lending, KtDipLendsSurplusAndDemandReturnReclaimsInstantly) {
+  rt::Harness h(LendingConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kAll);
+
+  // Lender: 2 kt workers, busy 3ms / asleep 9ms — each sleep phase clears
+  // the 2ms dip hysteresis with room to spare.  Background: it oscillates
+  // for as long as the borrower runs.
+  auto lender = MakeOscillator(h, "lender", 2, sim::Msec(3), sim::Msec(9),
+                               /*iters=*/1000);
+  h.AddRuntime(lender.get(), /*background=*/true);
+
+  // Borrower: compute-bound SA space, permanently short two processors.
+  auto borrower = MakeHungrySpace(h, "borrower", 4, /*iters=*/120);
+  h.AddRuntime(borrower.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  const kern::KernelCounters& c = h.kernel().counters();
+  EXPECT_GT(c.loans_granted, 0);
+  EXPECT_GT(c.loans_reclaimed, 0);
+  // No hoarding, no watchdog noise on the cooperative path.
+  EXPECT_EQ(c.loans_force_revoked, 0);
+  EXPECT_EQ(h.kernel().reaper()->stats().hoards, 0);
+
+  // Instant reclaim: every recall resolved in well under a grant-loop
+  // renegotiation (the preempt interrupt + the loan-reclaim charge).
+  const trace::LatencyHistogram& lat = h.kernel().allocator()->reclaim_latency();
+  ASSERT_GT(lat.count(), 0u);
+  EXPECT_LT(lat.max(), sim::Msec(1));
+
+  // Ledger and per-space bookkeeping agree machine-wide.
+  kern::AddressSpace* las = lender->address_space();
+  kern::AddressSpace* bas = borrower->address_space();
+  EXPECT_GT(las->loan_state().lends, 0);
+  EXPECT_GT(bas->loan_state().borrows, 0);
+  EXPECT_EQ(las->loan_state().borrowed_in, 0);
+  int loaned_out = 0, borrowed_in = 0;
+  for (const auto& as : h.kernel().spaces()) {
+    loaned_out += as->loan_state().loaned_out;
+    borrowed_in += as->loan_state().borrowed_in;
+  }
+  EXPECT_EQ(loaned_out, borrowed_in);
+  EXPECT_EQ(loaned_out, h.kernel().allocator()->loans_outstanding());
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanGrant, las->id()), 0);
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanReclaimIssue, las->id()), 0);
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanReturn, las->id()), 0);
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+  EXPECT_GT(check.loan_checks, 0u);
+#endif
+
+  // The report surfaces the lending section.
+  const rt::RunReport report = rt::MakeReport(h);
+  EXPECT_TRUE(report.lending_active);
+  EXPECT_FALSE(report.lending_spaces.empty());
+  EXPECT_NE(report.ToString().find("loans:"), std::string::npos);
+}
+
+TEST(Lending, SaYieldHintLendsIdleProcessor) {
+  rt::Harness h(LendingConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kLending | trace::cat::kUpcall);
+
+  // Lender: SA space with lend_idle on.  One long thread and one short one
+  // — when the short thread exits, its vcpu idles past the lend-hint grace
+  // period and offers the processor.
+  ult::UltConfig uc;
+  uc.max_vcpus = 2;
+  uc.lend_idle = true;
+  ult::UltRuntime lender(&h.kernel(), "sa-lender",
+                         ult::BackendKind::kSchedulerActivations, uc);
+  lender.Spawn(
+      [](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(40)); },
+      "long");
+  lender.Spawn(
+      [](rt::ThreadCtx& t) -> sim::Program { co_await t.Compute(sim::Msec(2)); },
+      "short");
+  h.AddRuntime(&lender);
+
+  auto borrower = MakeHungrySpace(h, "borrower", 4, /*iters=*/100);
+  h.AddRuntime(borrower.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  const kern::KernelCounters& c = h.kernel().counters();
+  EXPECT_GT(c.downcalls_yield_hint, 0);
+  EXPECT_GT(c.loans_granted, 0);
+  EXPECT_GT(lender.address_space()->loan_state().lends, 0);
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanYieldHint,
+                      lender.address_space()->id()),
+            0);
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// The reclaim-deadline watchdog.
+// ---------------------------------------------------------------------------
+
+TEST(Lending, WatchdogForceRevokesLoanStalledPastTheDeadlineLadder) {
+  rt::Harness h(LendingConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kLending | trace::cat::kLifecycle);
+
+  // Every reclaim interrupt is deferred far past the watchdog ladder
+  // (5ms + 10ms of deadlines at the defaults), so the borrower looks like
+  // it is sitting on the recall.
+  inject::FaultPlan plan;
+  plan.reclaim_delay = 1.0;
+  plan.reclaim_delay_for = sim::Msec(60);
+  h.EnableFaultInjection(plan);
+
+  // Finite lender: one dip (lend), then demand returns (reclaim — stalled).
+  auto lender = MakeOscillator(h, "lender", 2, sim::Msec(3), sim::Msec(9),
+                               /*iters=*/6);
+  h.AddRuntime(lender.get());
+
+  // The borrower never idles, so the stalled recall cannot resolve through
+  // the fast path; background, since the watchdog tears it down.
+  auto borrower = MakeHungrySpace(h, "borrower", 4, /*iters=*/100000);
+  h.AddRuntime(borrower.get(), /*background=*/true);
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  const kern::KernelCounters& c = h.kernel().counters();
+  EXPECT_GT(c.loans_force_revoked, 0);
+  EXPECT_GE(c.loan_deadline_pings, 2);
+
+  // The hoarder was quarantined through the reaper with a clean audit, and
+  // the lender got its processors back and finished.
+  kern::AddressSpace* bas = borrower->address_space();
+  EXPECT_EQ(bas->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(bas->teardown_cause(), kern::TeardownCause::kHoarded);
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(bas), "");
+  EXPECT_GE(h.kernel().reaper()->stats().hoards, 1);
+  EXPECT_EQ(lender->threads_finished(), lender->threads_created());
+  EXPECT_EQ(h.kernel().allocator()->loans_outstanding(), 0);
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanDeadlinePing), 0);
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanForceRevoke), 0);
+  // Even force-revocation closes the loan inside the checker's
+  // no-loan-outlives-deadline bound.
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Loans across teardown.
+// ---------------------------------------------------------------------------
+
+TEST(Lending, BorrowerCrashReturnsTheProcessorToItsLender) {
+  rt::Harness h(LendingConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kLending | trace::cat::kLifecycle);
+
+  // The borrower crashes mid-sleep-phase, while the loan is outstanding
+  // (lend lands at ~5ms: 3ms busy + 2ms hysteresis).
+  inject::FaultPlan plan;
+  plan.crash_at = sim::Msec(7);
+  plan.crash_space = 1;
+  h.EnableFaultInjection(plan);
+
+  auto lender = MakeOscillator(h, "lender", 2, sim::Msec(3), sim::Msec(9),
+                               /*iters=*/4);
+  h.AddRuntime(lender.get());
+  auto borrower = MakeHungrySpace(h, "borrower", 4, /*iters=*/100000);
+  h.AddRuntime(borrower.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  EXPECT_GT(h.kernel().counters().loans_granted, 0);
+  kern::AddressSpace* bas = borrower->address_space();
+  EXPECT_EQ(bas->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(bas), "");
+  EXPECT_EQ(lender->address_space()->loan_state().loaned_out, 0);
+  EXPECT_EQ(h.kernel().allocator()->loans_outstanding(), 0);
+  // The lender survived its debtor's death and finished its work.
+  EXPECT_EQ(lender->threads_finished(), lender->threads_created());
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  int borrower_death_returns = 0;
+  for (const trace::Record& r : records) {
+    if (static_cast<trace::Kind>(r.kind) == trace::Kind::kLoanReturn &&
+        r.arg1 == static_cast<uint64_t>(trace::LoanReturnReason::kBorrowerDeath)) {
+      ++borrower_death_returns;
+    }
+  }
+  EXPECT_GT(borrower_death_returns, 0);
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+TEST(Lending, LenderCrashTransfersOwnershipToTheBorrower) {
+  rt::Harness h(LendingConfig(/*processors=*/4));
+  h.EnableTracing(trace::cat::kLending | trace::cat::kLifecycle);
+
+  inject::FaultPlan plan;
+  plan.crash_at = sim::Msec(7);  // mid-loan, see above
+  plan.crash_space = 0;
+  h.EnableFaultInjection(plan);
+
+  auto lender = MakeOscillator(h, "lender", 2, sim::Msec(3), sim::Msec(9),
+                               /*iters=*/1000);
+  h.AddRuntime(lender.get());
+  auto borrower = MakeHungrySpace(h, "borrower", 4, /*iters=*/60);
+  h.AddRuntime(borrower.get());
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  // The loan became the borrower's outright: no processor motion, clean
+  // conservation on the dead lender, nothing left in the ledger.
+  EXPECT_GT(h.kernel().counters().loans_adopted, 0);
+  kern::AddressSpace* las = lender->address_space();
+  EXPECT_EQ(las->lifecycle(), kern::AsLifecycle::kDead);
+  EXPECT_EQ(h.kernel().reaper()->ConservationReport(las), "");
+  EXPECT_EQ(h.kernel().allocator()->loans_outstanding(), 0);
+  EXPECT_EQ(borrower->threads_finished(), borrower->threads_created());
+
+#if SA_TRACE_ENABLED
+  const std::vector<trace::Record> records = h.trace()->Snapshot();
+  EXPECT_GT(CountKind(records, trace::Kind::kLoanAdopt, las->id()), 0);
+  const trace::CheckResult check = trace::CheckInvariants(records);
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Churn with loans in flight.
+// ---------------------------------------------------------------------------
+
+TEST(Lending, ChurnWithLoansInFlightConservesProcessors) {
+  rt::Harness h(LendingConfig(/*processors=*/4, /*seed=*/5));
+  h.EnableTracing(trace::cat::kLending | trace::cat::kLifecycle);
+
+  auto lender = MakeOscillator(h, "lender", 2, sim::Msec(3), sim::Msec(9),
+                               /*iters=*/1000);
+  h.AddRuntime(lender.get(), /*background=*/true);
+  auto anchor = MakeHungrySpace(h, "anchor", 3, /*iters=*/120);
+  h.AddRuntime(anchor.get());
+  // Borrower spaces arrive and depart mid-run, so grants, recalls, and
+  // rebalances interleave with space creation and release.
+  h.AddChurn(3, sim::Msec(6), [&h](int i) {
+    return MakeHungrySpace(h, "churn-" + std::to_string(i), 2, /*iters=*/30);
+  });
+
+  const rt::RunResult result = h.TryRun();
+  ASSERT_TRUE(result.ok()) << result.diagnostics;
+
+  EXPECT_GT(h.kernel().counters().loans_granted, 0);
+  // Machine-wide conservation: every processor is either free or assigned
+  // to exactly one space, and the ledger's two sides agree.
+  int assigned = 0, loaned_out = 0, borrowed_in = 0;
+  for (const auto& as : h.kernel().spaces()) {
+    assigned += static_cast<int>(as->assigned().size());
+    loaned_out += as->loan_state().loaned_out;
+    borrowed_in += as->loan_state().borrowed_in;
+  }
+  EXPECT_EQ(assigned + h.kernel().allocator()->num_free(),
+            h.config().processors);
+  EXPECT_EQ(loaned_out, borrowed_in);
+  EXPECT_EQ(loaned_out, h.kernel().allocator()->loans_outstanding());
+
+#if SA_TRACE_ENABLED
+  const trace::CheckResult check = trace::CheckInvariants(h.trace()->Snapshot());
+  EXPECT_TRUE(check.ok()) << check.Summary();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Zero perturbation with lending disabled.
+// ---------------------------------------------------------------------------
+
+enum class Style { kProtocol, kStorm, kMultitenant };
+
+// `armed` plants every disabled-lending hook on the hot paths: non-default
+// lending tunables behind enabled=false, lend_idle on every SA space, and
+// zero-probability lending fault fields on an (inactive) injector.  None of
+// it may move a single record.
+std::vector<trace::Record> RunSeededStyle(Style style, bool armed) {
+  rt::HarnessConfig config;
+  config.processors = 6;
+  config.seed = 11;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  if (armed) {
+    config.kernel.lending.enabled = false;  // the feature switch stays off...
+    config.kernel.lending.hysteresis = sim::Usec(1);  // ...so these are inert
+    config.kernel.lending.reclaim_deadline = sim::Usec(1);
+    config.kernel.lending.max_pings = 1;
+  }
+  rt::Harness h(config);
+  h.EnableTracing(trace::cat::kAll);
+  if (style == Style::kStorm) {
+    inject::FaultPlan plan;
+    plan.seed = 7;
+    plan.storm_period = sim::Msec(1);
+    plan.storm_burst = 2;
+    if (armed) {
+      plan.reclaim_delay = 0.0;  // zero probability: never fires, never draws
+      plan.reclaim_delay_for = sim::Msec(77);
+      plan.yield_lie = 0.0;
+    }
+    h.EnableFaultInjection(plan);
+  }
+
+  std::unique_ptr<traffic::TrafficGenerator> gen;
+  ult::UltConfig uc;
+  uc.max_vcpus = config.processors;
+  uc.lend_idle = armed;  // inert while the kernel switch is off
+  ult::UltRuntime sa1(&h.kernel(), "sa1", ult::BackendKind::kSchedulerActivations,
+                      uc);
+  ult::UltRuntime sa2(&h.kernel(), "sa2", ult::BackendKind::kSchedulerActivations,
+                      uc);
+  rt::TopazRuntime kt(&h.kernel(), "kt");
+  if (style == Style::kMultitenant) {
+    traffic::TrafficConfig tc;
+    tc.seed = 13;
+    tc.horizon = sim::Msec(40);
+    tc.drain = sim::Msec(30);
+    traffic::TenantSpec a;
+    a.name = "tenant-a";
+    a.arrivals.rate = 300.0;
+    a.mix = {traffic::RequestClass{"req", 1.0, sim::Usec(800),
+                                   traffic::RequestClass::Dist::kFixed, 0}};
+    a.slo.latency = sim::Msec(50);
+    traffic::TenantSpec b = a;
+    b.name = "tenant-b";
+    b.arrivals.rate = 150.0;
+    tc.tenants = {a, b};
+    gen = std::make_unique<traffic::TrafficGenerator>(&h, tc);
+  } else {
+    h.AddRuntime(&sa1);
+    h.AddRuntime(&sa2);
+    h.AddRuntime(&kt);
+    h.AddDaemon("daemon", sim::Msec(2), sim::Usec(200));
+    for (int i = 0; i < 8; ++i) {
+      auto body = [i](rt::ThreadCtx& t) -> sim::Program {
+        for (int k = 0; k < 12; ++k) {
+          co_await t.Compute(sim::Usec(50 + 9 * (i % 4)));
+          if ((k + i) % 3 == 0) {
+            co_await t.Io(sim::Usec(70));
+          }
+        }
+      };
+      sa1.Spawn(body, "a" + std::to_string(i));
+      sa2.Spawn(body, "b" + std::to_string(i));
+      if (i % 2 == 0) {
+        kt.Spawn(body, "k" + std::to_string(i));
+      }
+    }
+  }
+  h.Run();
+  return h.trace()->Snapshot();
+}
+
+void ExpectByteIdentical(const std::vector<trace::Record>& base,
+                         const std::vector<trace::Record>& armed) {
+#if SA_TRACE_ENABLED
+  ASSERT_GT(base.size(), 0u);
+#endif
+  // Nothing lending-flavoured may appear in either run.
+  for (const trace::Record& r : armed) {
+    const uint16_t k = r.kind;
+    ASSERT_FALSE(k >= static_cast<uint16_t>(trace::Kind::kLoanGrant) &&
+                 k <= static_cast<uint16_t>(trace::Kind::kLoanDeadlinePing))
+        << "lending record " << trace::KindName(static_cast<trace::Kind>(k))
+        << " in a lending-disabled run at t=" << r.ts;
+  }
+  ASSERT_EQ(base.size(), armed.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    const trace::Record& a = base[i];
+    const trace::Record& b = armed[i];
+    const bool same = a.ts == b.ts && a.cpu == b.cpu && a.as_id == b.as_id &&
+                      a.kind == b.kind && a.arg0 == b.arg0 && a.arg1 == b.arg1;
+    ASSERT_TRUE(same) << "trace diverged at record " << i << ": t=" << a.ts
+                      << " vs t=" << b.ts << ", kind "
+                      << trace::KindName(static_cast<trace::Kind>(a.kind))
+                      << " vs "
+                      << trace::KindName(static_cast<trace::Kind>(b.kind));
+  }
+}
+
+TEST(LendingZeroPerturbation, SaProtocolTraceIsByteIdentical) {
+  ExpectByteIdentical(RunSeededStyle(Style::kProtocol, /*armed=*/false),
+                      RunSeededStyle(Style::kProtocol, /*armed=*/true));
+}
+
+TEST(LendingZeroPerturbation, RevocationStormTraceIsByteIdentical) {
+  ExpectByteIdentical(RunSeededStyle(Style::kStorm, /*armed=*/false),
+                      RunSeededStyle(Style::kStorm, /*armed=*/true));
+}
+
+TEST(LendingZeroPerturbation, MultitenantTraceIsByteIdentical) {
+  ExpectByteIdentical(RunSeededStyle(Style::kMultitenant, /*armed=*/false),
+                      RunSeededStyle(Style::kMultitenant, /*armed=*/true));
+}
+
+}  // namespace
+}  // namespace sa

@@ -131,6 +131,90 @@ TEST(Misbehave, WellBehavedSpacesAreIsolated) {
 #endif
 }
 
+// §4.1 isolation under cross-space lending (DESIGN.md §16): an adversary
+// that soaks up every loan and never volunteers a processor back may not
+// slow the lender beyond the instant-reclaim bound.  The lender's demand
+// dips feed the hoarder; every dip's worth of processors must come back the
+// moment demand returns, so the lender's completion time with lending on
+// (hoarder fattened by its surplus) stays within noise of lending off
+// (surplus idles in the kernel instead).
+sim::Time RunLenderBesideHoarder(bool lending, int64_t* loans_hoarded,
+                                 trace::CheckResult* check) {
+  rt::HarnessConfig config;
+  config.processors = kProcessors;
+  config.kernel.mode = kern::KernelMode::kSchedulerActivations;
+  config.kernel.lending.enabled = lending;
+  rt::Harness h(config);
+  h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt | trace::cat::kLending);
+
+  // The lender-to-be: kernel threads alternating compute and sleep, so its
+  // demand dips below its holdings every cycle.
+  rt::TopazRuntime kt(&h.kernel(), "kt");
+  h.AddRuntime(&kt);
+  for (int i = 0; i < 2; ++i) {
+    kt.Spawn(
+        [](rt::ThreadCtx& t) -> sim::Program {
+          for (int k = 0; k < 8; ++k) {
+            co_await t.Compute(sim::Msec(4));
+            co_await t.Io(sim::Msec(8));
+          }
+        },
+        "kt-" + std::to_string(i));
+  }
+
+  // A well-behaved SA space shares the machine and must also stay whole.
+  ult::UltConfig uc;
+  uc.max_vcpus = 2;
+  ult::UltRuntime wb(&h.kernel(), "wb", ult::BackendKind::kSchedulerActivations, uc);
+  h.AddRuntime(&wb);
+  SpawnForegroundWork(&wb, "wb");
+
+  // The hoarding borrower: claims the whole machine, takes every loan,
+  // ignores every upcall, and never yields anything voluntarily.
+  rt::MisbehavingRuntime mis(&h.kernel(), "hoarder",
+                             /*claimed_demand=*/kProcessors);
+  h.AddRuntime(&mis, /*background=*/true);
+
+  const sim::Time elapsed = h.Run();
+  if (loans_hoarded != nullptr) {
+    *loans_hoarded = mis.loans_hoarded();
+  }
+  if (check != nullptr) {
+    *check = trace::CheckInvariants(h.trace()->Snapshot());
+  }
+  if (lending) {
+    // The comparison is vacuous unless loans actually flowed to the
+    // adversary and were recalled without the watchdog's help.
+    EXPECT_GT(h.kernel().counters().loans_granted, 0);
+    EXPECT_GT(h.kernel().counters().loans_reclaimed, 0);
+    EXPECT_EQ(h.kernel().counters().loans_force_revoked, 0);
+  }
+  return elapsed;
+}
+
+TEST(Misbehave, HoardingBorrowerCannotSlowItsLender) {
+  trace::CheckResult off_check, on_check;
+  int64_t hoarded = 0;
+  const sim::Time without = RunLenderBesideHoarder(false, nullptr, &off_check);
+  const sim::Time with = RunLenderBesideHoarder(true, &hoarded, &on_check);
+
+  EXPECT_GT(hoarded, 0) << "adversary never became a borrower";
+  const double ratio = static_cast<double>(with) / static_cast<double>(without);
+  std::printf("[ info ] lender foreground: %s without lending, %s lending to "
+              "the hoarder (ratio %.3f, %lld loans hoarded)\n",
+              sim::FormatDuration(without).c_str(),
+              sim::FormatDuration(with).c_str(), ratio,
+              static_cast<long long>(hoarded));
+  EXPECT_LT(ratio, 1.10) << "hoarding borrower slowed its lender";
+  EXPECT_GT(ratio, 0.90);
+
+#if SA_TRACE_ENABLED
+  EXPECT_TRUE(off_check.ok()) << off_check.Summary();
+  EXPECT_TRUE(on_check.ok()) << on_check.Summary();
+  EXPECT_GT(on_check.loan_checks, 0u);
+#endif
+}
+
 TEST(Misbehave, AdversaryAloneStillTerminatesForeground) {
   // Degenerate co-run: adversary + a single-threaded foreground space on a
   // small machine.  The foreground must still finish (the allocator revokes
