@@ -12,6 +12,7 @@
 #define SA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 
 namespace sa::bench {
 
@@ -34,6 +35,33 @@ inline bool WarnIfDebugBuild(const char* bench_name) {
                  bench_name);
   }
   return kDebugBuild;
+}
+
+// The record guard: a warning is ignorable, a checked-in debug baseline is
+// not (it is exactly how the first BENCH_fibers_native.json went bad).
+// Returns true — and the caller must exit nonzero — when a debug build was
+// asked to *record* results: any flag that writes a machine-readable file
+// (--benchmark_out=..., or a bespoke --out/--json flag).  Plain console
+// runs of a debug build stay allowed; they only warn.
+inline bool RefuseDebugRecord(const char* bench_name, int argc,
+                              char** argv) {
+  if (!kDebugBuild) {
+    return false;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--benchmark_out", 15) == 0 ||
+        std::strncmp(arg, "--out", 5) == 0 ||
+        std::strncmp(arg, "--json", 6) == 0) {
+      std::fprintf(stderr,
+                   "%s: ERROR: refusing to record results from a DEBUG "
+                   "build (%s); rebuild with -DCMAKE_BUILD_TYPE=Release "
+                   "before writing a baseline\n",
+                   bench_name, arg);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace sa::bench

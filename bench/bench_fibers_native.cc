@@ -241,12 +241,17 @@ BENCHMARK(BM_MultiSemSignalWait)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() with one addition: these are *wall-clock*
-// numbers, so a debug build both warns on stderr and tags the JSON context
+// Expanded BENCHMARK_MAIN() with two additions: these are *wall-clock*
+// numbers, so a debug build warns on stderr and tags the JSON context
 // (google-benchmark's own library_build_type field describes the benchmark
-// library, not this binary).
+// library, not this binary) — and a debug build asked to *record* (write a
+// JSON file) exits nonzero instead, so a mislabeled baseline cannot be
+// checked in again.
 int main(int argc, char** argv) {
   sa::bench::WarnIfDebugBuild("bench_fibers_native");
+  if (sa::bench::RefuseDebugRecord("bench_fibers_native", argc, argv)) {
+    return 2;
+  }
   benchmark::AddCustomContext("app_build_type", sa::bench::kBuildType);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

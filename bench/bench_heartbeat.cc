@@ -1,0 +1,280 @@
+// Heartbeat-promoted lazy forking ablation (DESIGN.md §17): the N-body
+// application run eager vs lazy (ForkLazy + heartbeat) at several task
+// grains on original FastThreads with every vcpu bound to the application.
+// Lazy forking's claim is the paper's fork-cost story taken to its limit:
+// a fork that nobody steals should cost a procedure call, not a TCB — so
+// the finer the grain, the larger the win, with no utilization loss because
+// the heartbeat and dry stealers re-inflate exactly as much parallelism as
+// the processors can use.
+//
+// Emits BENCH_heartbeat.json and exits non-zero unless the gates hold:
+//   1. at the finest grain, lazy per-task management cost is >= 5x lower;
+//   2. lazy user utilization is within 3 points of eager at every grain;
+//   3. with the lazy API unused, arming the heartbeat leaves a seeded
+//      run's exported trace byte-identical (zero perturbation).
+//
+// Usage: bench_heartbeat [--smoke] [out.json]
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/apps/nbody_workload.h"
+#include "src/common/table.h"
+#include "src/rt/harness.h"
+#include "src/rt/report.h"
+#include "src/trace/chrome_export.h"
+#include "src/ult/ult_runtime.h"
+
+namespace sa {
+namespace {
+
+struct CellResult {
+  sim::Duration elapsed = 0;
+  int64_t tasks = 0;
+  sim::Duration mgmt = 0;  // UltCounters::mgmt_time, summed over seeds
+  sim::Duration fork = 0;  // UltCounters::fork_time (the fork-attributable slice)
+  int64_t lazy_forks = 0;
+  int64_t lazy_promotions = 0;
+  int64_t lazy_steal_promotions = 0;
+  int64_t lazy_inlines = 0;
+  double utilization_sum = 0;
+  int runs = 0;
+
+  double MgmtPerTaskUs() const {
+    return tasks == 0 ? 0.0
+                      : static_cast<double>(mgmt) / 1000.0 /
+                            static_cast<double>(tasks);
+  }
+  // Per-fork overhead: fork-attributable management time per task (every
+  // task is one fork, eager or lazy).
+  double ForkPerTaskUs() const {
+    return tasks == 0 ? 0.0
+                      : static_cast<double>(fork) / 1000.0 /
+                            static_cast<double>(tasks);
+  }
+  double Utilization() const {
+    return runs == 0 ? 0.0 : utilization_sum / runs;
+  }
+};
+
+// One seeded N-body run on original FastThreads (user-level threads on
+// kernel threads, native oblivious kernel) with the machine sized to the
+// application: all vcpus bound, no daemons — management overhead and
+// utilization reflect the fork discipline alone.
+void RunCell(bool lazy, int chunk, int64_t heartbeat_us, uint64_t seed,
+             int bodies, int steps, CellResult* out,
+             std::string* trace_json = nullptr) {
+  rt::HarnessConfig hc;
+  hc.processors = 4;
+  hc.seed = seed;
+  hc.kernel.mode = kern::KernelMode::kNativeTopaz;
+  rt::Harness h(hc);
+  if (trace_json != nullptr) {
+    h.EnableTracing(trace::cat::kAll);
+  }
+  ult::UltConfig uc;
+  uc.max_vcpus = hc.processors;
+  uc.heartbeat_us = heartbeat_us;
+  ult::UltRuntime ft(&h.kernel(), "nbody", ult::BackendKind::kKernelThreads,
+                     uc);
+  h.AddRuntime(&ft);
+
+  apps::NBodyConfig nc;
+  nc.bodies = bodies;
+  nc.steps = steps;
+  nc.chunk = chunk;
+  nc.lazy_fork = lazy;
+  nc.seed = seed * 101 + 7;
+  apps::NBodyApp app(nc);
+  app.set_clock(&h.engine());
+  app.InstallOn(&ft);
+  h.Run();
+
+  const ult::UltCounters& c = ft.fast_threads().counters();
+  const rt::RunReport report = rt::MakeReport(h);
+  out->elapsed += app.finished_at();
+  out->tasks += app.total_tasks_run();
+  out->mgmt += c.mgmt_time;
+  out->fork += c.fork_time;
+  out->lazy_forks += c.lazy_forks;
+  out->lazy_promotions += c.lazy_promotions;
+  out->lazy_steal_promotions += c.lazy_steal_promotions;
+  out->lazy_inlines += c.lazy_inlines;
+  out->utilization_sum += report.UserUtilization();
+  out->runs += 1;
+  if (trace_json != nullptr) {
+    *trace_json = trace::ExportChromeJson(h.trace()->Snapshot());
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<int>& grains,
+               const std::vector<CellResult>& eager,
+               const std::vector<CellResult>& lazy) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("bench_heartbeat: fopen");
+    return;
+  }
+  std::fprintf(
+      f, "{\n  \"bench\": \"heartbeat\",\n  \"build_type\": \"%s\",\n  \"cells\": [\n",
+      bench::kBuildType);
+  for (size_t i = 0; i < grains.size(); ++i) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const CellResult& c = mode == 0 ? eager[i] : lazy[i];
+      std::fprintf(
+          f,
+          "    {\"grain\": %d, \"mode\": \"%s\", \"elapsed_ns\": %lld, "
+          "\"tasks\": %lld, \"mgmt_ns\": %lld, \"mgmt_per_task_us\": %.3f, "
+          "\"fork_ns\": %lld, \"fork_per_task_us\": %.3f, "
+          "\"lazy_forks\": %lld, \"lazy_promotions\": %lld, "
+          "\"lazy_steal_promotions\": %lld, \"lazy_inlines\": %lld, "
+          "\"user_utilization\": %.4f}%s\n",
+          grains[i], mode == 0 ? "eager" : "lazy",
+          static_cast<long long>(c.elapsed), static_cast<long long>(c.tasks),
+          static_cast<long long>(c.mgmt), c.MgmtPerTaskUs(),
+          static_cast<long long>(c.fork), c.ForkPerTaskUs(),
+          static_cast<long long>(c.lazy_forks),
+          static_cast<long long>(c.lazy_promotions),
+          static_cast<long long>(c.lazy_steal_promotions),
+          static_cast<long long>(c.lazy_inlines), c.Utilization(),
+          i + 1 < grains.size() || mode == 0 ? "," : "");
+    }
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace sa
+
+int main(int argc, char** argv) {
+  sa::bench::WarnIfDebugBuild("bench_heartbeat");
+  if (sa::bench::RefuseDebugRecord("bench_heartbeat", argc, argv)) {
+    return 2;
+  }
+  bool smoke = false;
+  std::string out_path = "BENCH_heartbeat.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int bodies = smoke ? 96 : 300;
+  const int steps = smoke ? 2 : 3;
+  // The heartbeat is a liveness backstop, not the parallelism engine:
+  // processor-demand promotion (a dry stealer, or an idle vcpu noticed at
+  // push time) re-inflates parallelism the moment a processor starves, so
+  // the period only has to bound worst-case promotion latency.
+  // Amortization wants it well above the ~60 us full fork cost (5 ms ->
+  // ~1% of a processor spent on beat-promotions); a period below the task
+  // grain degenerates into promoting every frame, paying eager cost plus
+  // the push.
+  const int64_t heartbeat_us = 5000;
+  const std::vector<int> grains = {12, 3, 1};  // finest last
+  const std::vector<uint64_t> seeds = smoke ? std::vector<uint64_t>{5}
+                                            : std::vector<uint64_t>{5, 23, 41};
+
+  std::printf(
+      "Heartbeat ablation: %d bodies x %d steps, 4 bound processors, "
+      "grains {12,3,1}, heartbeat %lld us, %zu seeds%s\n\n",
+      bodies, steps, static_cast<long long>(heartbeat_us), seeds.size(),
+      smoke ? " (smoke)" : "");
+
+  std::vector<sa::CellResult> eager(grains.size());
+  std::vector<sa::CellResult> lazy(grains.size());
+  for (size_t i = 0; i < grains.size(); ++i) {
+    for (uint64_t seed : seeds) {
+      sa::RunCell(/*lazy=*/false, grains[i], /*heartbeat_us=*/0, seed, bodies,
+                  steps, &eager[i]);
+      sa::RunCell(/*lazy=*/true, grains[i], heartbeat_us, seed, bodies, steps,
+                  &lazy[i]);
+    }
+  }
+
+  sa::common::Table t({"grain", "mode", "elapsed", "tasks", "fork/task",
+                       "mgmt/task", "beat", "demand", "inlined", "util"});
+  char buf[64];
+  for (size_t i = 0; i < grains.size(); ++i) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const sa::CellResult& c = mode == 0 ? eager[i] : lazy[i];
+      std::snprintf(buf, sizeof(buf), "%.2f us", c.ForkPerTaskUs());
+      std::string fork_per_task = buf;
+      std::snprintf(buf, sizeof(buf), "%.2f us", c.MgmtPerTaskUs());
+      std::string mgmt_per_task = buf;
+      std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * c.Utilization());
+      t.AddRow({std::to_string(grains[i]), mode == 0 ? "eager" : "lazy",
+                sa::sim::FormatDuration(c.elapsed / c.runs),
+                sa::common::Table::Num(c.tasks), fork_per_task, mgmt_per_task,
+                sa::common::Table::Num(c.lazy_promotions),
+                sa::common::Table::Num(c.lazy_steal_promotions),
+                sa::common::Table::Num(c.lazy_inlines), buf});
+    }
+  }
+  t.Print();
+
+  sa::WriteJson(out_path, grains, eager, lazy);
+
+  bool ok = true;
+  // Gate 1: at the finest grain the lazy discipline must beat eager forking
+  // on per-fork overhead by at least 5x (fork-attributable time per task;
+  // mode-independent costs like locks and joins are excluded).
+  const sa::CellResult& ef = eager.back();
+  const sa::CellResult& lf = lazy.back();
+  const double ratio = lf.ForkPerTaskUs() > 0
+                           ? ef.ForkPerTaskUs() / lf.ForkPerTaskUs()
+                           : 0.0;
+  std::printf("\nfinest grain per-fork overhead: eager %.2f us vs lazy "
+              "%.2f us (%.1fx)\n",
+              ef.ForkPerTaskUs(), lf.ForkPerTaskUs(), ratio);
+  if (ratio < 5.0) {
+    std::printf("FAIL: lazy per-fork overhead not >= 5x lower\n");
+    ok = false;
+  }
+  // Gate 2: deferring forks must not cost parallelism — utilization within
+  // 3 points of eager at every grain.
+  for (size_t i = 0; i < grains.size(); ++i) {
+    const double gap = eager[i].Utilization() - lazy[i].Utilization();
+    if (gap > 0.03) {
+      std::printf("FAIL: grain %d lazy utilization %.1f%% more than 3 points "
+                  "below eager %.1f%%\n",
+                  grains[i], 100.0 * lazy[i].Utilization(),
+                  100.0 * eager[i].Utilization());
+      ok = false;
+    }
+  }
+  // Gate 3: zero perturbation.  An eager (lazy API unused) seeded run must
+  // export a byte-identical trace whether or not the heartbeat is armed.
+#if SA_TRACE_ENABLED
+  {
+    std::string without_hb;
+    std::string with_hb;
+    sa::CellResult scratch;
+    sa::RunCell(/*lazy=*/false, /*chunk=*/3, /*heartbeat_us=*/0, /*seed=*/9,
+                96, 2, &scratch, &without_hb);
+    sa::RunCell(/*lazy=*/false, /*chunk=*/3, heartbeat_us, /*seed=*/9, 96, 2,
+                &scratch, &with_hb);
+    if (without_hb != with_hb || without_hb.size() < 1000) {
+      std::printf("FAIL: arming the heartbeat perturbed an eager run's "
+                  "trace (%zu vs %zu bytes)\n",
+                  without_hb.size(), with_hb.size());
+      ok = false;
+    } else {
+      std::printf("heartbeat-off check: eager traces byte-identical "
+                  "(%zu bytes)\n", without_hb.size());
+    }
+  }
+#endif
+
+  if (!ok) {
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

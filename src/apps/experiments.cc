@@ -57,6 +57,7 @@ NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& co
         ult::UltConfig uc;
         uc.max_vcpus = processors;
         uc.flag_based_critical_sections = flag_based_cs;
+        uc.heartbeat_us = config.heartbeat_us;
         rt = std::make_unique<ult::UltRuntime>(&h.kernel(), name,
                                                ult::BackendKind::kKernelThreads, uc);
         break;
@@ -65,6 +66,7 @@ NBodyRunResult RunNBody(SystemKind system, int processors, const NBodyConfig& co
         ult::UltConfig uc;
         uc.max_vcpus = processors;
         uc.flag_based_critical_sections = flag_based_cs;
+        uc.heartbeat_us = config.heartbeat_us;
         rt = std::make_unique<ult::UltRuntime>(
             &h.kernel(), name, ult::BackendKind::kSchedulerActivations, uc);
         break;

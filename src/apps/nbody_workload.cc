@@ -77,20 +77,68 @@ sim::Program NBodyApp::TaskThread(rt::ThreadCtx& t, int task_index) {
   ++total_tasks_;
 }
 
+sim::Program NBodyApp::LazyRangeThread(rt::ThreadCtx& t, int lo, int hi) {
+  // Cilk-style descent: lazily fork the right half, keep the left half in
+  // this thread, repeat until a single task remains.  The forked frames sit
+  // on the local promotion stack, oldest = largest subrange, so a thief or
+  // the heartbeat peels off the biggest chunk of remaining work.
+  std::vector<int> pending;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    const int tid = co_await t.ForkLazy(
+        [this, mid, hi](rt::ThreadCtx& c) -> sim::Program {
+          return LazyRangeThread(c, mid, hi);
+        },
+        "nbody-range");
+    pending.push_back(tid);
+    hi = mid;
+  }
+  // Leaf: the per-task ops, identical to the eager port's TaskThread.
+  Task& task = tasks_[static_cast<size_t>(lo)];
+  for (int64_t page : task.pages) {
+    if (!cache_->Touch(page)) {
+      co_await t.Io(config_.miss_latency);
+    }
+  }
+  co_await t.Compute(task.cost);
+  co_await t.Acquire(lock_);
+  co_await t.Compute(config_.task_accumulate_cs);
+  diagnostics_ += 1.0;
+  co_await t.Release(lock_);
+  ++total_tasks_;
+  // Join newest-first: a still-unpromoted frame (nobody wanted the
+  // parallelism) runs inline here at procedure-call cost; promoted ones are
+  // real threads and this is an ordinary join.
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    co_await t.Join(*it);
+  }
+}
+
 sim::Program NBodyApp::MainThread(rt::ThreadCtx& t) {
   for (step_ = 0; step_ < config_.steps; ++step_) {
     BuildStep();
     co_await t.Compute(config_.tree_build_per_body * config_.bodies);
-    std::vector<int> tids;
-    tids.reserve(tasks_.size());
-    for (int i = 0; i < static_cast<int>(tasks_.size()); ++i) {
-      const int tid = co_await t.Fork(
-          [this, i](rt::ThreadCtx& c) -> sim::Program { return TaskThread(c, i); },
-          "nbody-task");
-      tids.push_back(tid);
-    }
-    for (int tid : tids) {
-      co_await t.Join(tid);
+    const int num_tasks = static_cast<int>(tasks_.size());
+    if (config_.lazy_fork) {
+      // One eager fork per step; all further division is lazy.
+      const int root = co_await t.Fork(
+          [this, num_tasks](rt::ThreadCtx& c) -> sim::Program {
+            return LazyRangeThread(c, 0, num_tasks);
+          },
+          "nbody-root");
+      co_await t.Join(root);
+    } else {
+      std::vector<int> tids;
+      tids.reserve(tasks_.size());
+      for (int i = 0; i < num_tasks; ++i) {
+        const int tid = co_await t.Fork(
+            [this, i](rt::ThreadCtx& c) -> sim::Program { return TaskThread(c, i); },
+            "nbody-task");
+        tids.push_back(tid);
+      }
+      for (int tid : tids) {
+        co_await t.Join(tid);
+      }
     }
     Integrate(&bodies_, config_.dt);
     co_await t.Compute(config_.integrate_per_body * config_.bodies);

@@ -49,6 +49,21 @@ struct NBodyConfig {
   double hot_fraction = 0.30;
   double hot_probability = 0.80;
 
+  // Use the lazy-fork (pcall) API: per step the main thread forks one root
+  // range thread eagerly, and the range recursively splits via ForkLazy —
+  // right halves become promotable frames, left halves descend inline.
+  // Joins run newest-first so an unpromoted frame is inlined at procedure-
+  // call cost while thieves and the heartbeat take the oldest (largest)
+  // subranges (DESIGN.md §17).  Physics and per-task ops are identical to
+  // the eager port, so the two are directly comparable (bench_heartbeat).
+  bool lazy_fork = false;
+  // Heartbeat period for the user-level-thread runtimes (copied into
+  // UltConfig::heartbeat_us by RunNBody); 0 disables.  With lazy_fork off
+  // this must not perturb the run at all — the heartbeat only ever arms
+  // when a promotion stack is non-empty (trace_test / heartbeat_test assert
+  // byte-identical seeded traces).
+  int64_t heartbeat_us = 0;
+
   uint64_t seed = 12345;
   double dt = 0.05;
 };
@@ -82,6 +97,8 @@ class NBodyApp {
   void BuildStep();
   sim::Program MainThread(rt::ThreadCtx& t);
   sim::Program TaskThread(rt::ThreadCtx& t, int task_index);
+  // Lazy-fork port: computes tasks [lo, hi) by recursive halving.
+  sim::Program LazyRangeThread(rt::ThreadCtx& t, int lo, int hi);
 
   NBodyConfig config_;
   common::Rng rng_;

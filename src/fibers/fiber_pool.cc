@@ -1,5 +1,6 @@
 #include "src/fibers/fiber_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <utility>
@@ -39,6 +40,20 @@ namespace sa::fibers {
 namespace internal {
 
 // Per-kernel-thread scheduler state; lives on the WorkerLoop stack.
+// An unpromoted lazy spawn (SpawnLazy): the task exists only as its closure
+// plus an entry on the owning worker's promotion stack.  All state
+// transitions — promotion (any worker) and inline take (JoinLazy, possibly
+// from a fiber that migrated off the owner) — happen under the owner's
+// lazy_mu, so `promoted`/`handle` need no atomics.  The spawner allocates;
+// JoinLazy frees.
+struct LazyTask {
+  std::function<void()> fn;
+  uint64_t seq = 0;                      // global age stamp (oldest = lowest)
+  FiberPool::Worker* owner = nullptr;    // whose promotion stack holds it
+  bool promoted = false;                 // guarded by owner->lazy_mu
+  FiberHandle handle;                    // valid once promoted
+};
+
 struct WorkerState {
   FiberPool* pool = nullptr;
   FiberPool::Worker* worker = nullptr;
@@ -90,10 +105,20 @@ constexpr size_t kMaxStealBatch = 16;
 constexpr size_t kMaxOverflowBatch = 16;
 
 // How long a parked worker sleeps before rechecking for work on its own.
-// This is the backstop for the one lost-wakeup window we deliberately leave
-// open: worker-local pushes check num_parked_ with a relaxed load and no
-// StoreLoad fence, so a push racing with a parking worker can miss it.
+// Not load-bearing for wakeup correctness: every push — worker-local or
+// external — takes the full Dekker handshake with ParkWorker (StoreLoad
+// fence + parked-count load against publish + recheck), so no park can
+// outlive an unserved push.  The timed park survives purely as a
+// belt-and-braces backstop (e.g. a woken worker stuck in a syscall delaying
+// the wake chain); timeout_rescues counts the firings that actually found
+// work, and staying zero is what the lost-wakeup regression test asserts.
 constexpr auto kParkTimeout = std::chrono::milliseconds(8);
+
+// Every this many dispatch-loop iterations a worker with pending lazy
+// frames promotes its oldest one — the native analogue of the simulated
+// virtual-time heartbeat, polled at dispatch boundaries (there is no safe
+// asynchronous beat in a library that never interrupts its workers).
+constexpr uint64_t kLazyTickPeriod = 16;
 
 // Single-writer counter bump: no lock-prefixed RMW, just a load and a store
 // (the counters are atomics only so cross-thread readers are race-free).
@@ -136,6 +161,13 @@ struct FiberPool::Worker {
   uint64_t rng_state;  // victim scan order
   bool searching = false;  // holds the pool's "searching worker" token
 
+  // Promotion stack (lazy spawns pushed by fibers running here; oldest at
+  // the front).  A SpinLock, not the deque's lock-free protocol: pushes are
+  // rare relative to dispatches (one per SpawnLazy, not per schedule) and
+  // promoters/joiners from other workers need multi-field transactions.
+  SpinLock lazy_mu;
+  std::deque<internal::LazyTask*> lazy_frames;  // guarded by lazy_mu
+
   // Single-writer statistics (read cross-thread by stats()/switches()).
   std::atomic<uint64_t> switches{0};
   std::atomic<int64_t> live_delta{0};  // spawns minus completions, this worker
@@ -147,6 +179,10 @@ struct FiberPool::Worker {
   std::atomic<uint64_t> remote_steals{0};  // crossed worker groups
   std::atomic<uint64_t> parks{0};
   std::atomic<uint64_t> wakeups{0};  // multi-writer: bumped by wakers
+  std::atomic<uint64_t> lazy_spawns{0};
+  std::atomic<uint64_t> lazy_promotions{0};  // bumped by the promoting worker
+  std::atomic<uint64_t> lazy_inlines{0};
+  std::atomic<uint64_t> timeout_rescues{0};
 };
 
 FiberPool::FiberPool(int workers, size_t stack_size)
@@ -158,7 +194,9 @@ FiberPool::FiberPool(int workers, const FiberPoolOptions& options)
   SA_CHECK(workers >= 1);
   SA_CHECK(options.workers_per_socket >= 0);
   spin_rounds_ = kSpinRounds;
-  wake_eagerly_ = std::thread::hardware_concurrency() > 1;
+  wake_eagerly_ = options.wake_eagerly < 0
+                      ? std::thread::hardware_concurrency() > 1
+                      : options.wake_eagerly != 0;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(i));
@@ -324,13 +362,20 @@ void FiberPool::PushRunnable(internal::Fiber* fiber) {
   WorkerState* state = tls_worker;
   if (state != nullptr && state->pool == this) {
     state->worker->deque.Push(fiber);  // local, lock-free
-    // Relaxed check, no StoreLoad fence: if a worker is parking right now we
-    // may miss it (both sides can fail to see each other), but its timed
-    // park rechecks within kParkTimeout.  Long-parked workers are visible.
-    // On a single CPU (!wake_eagerly_) we go further and only wake when
-    // *every* worker is parked: this worker is awake and will dispatch the
-    // push itself, so waking a thief just burns two futex round-trips to
-    // time-slice one processor.
+    // Full Dekker handshake with ParkWorker, same as the external-push path
+    // below: the fence orders our deque store before the parked-count load,
+    // pairing with the parker's publish (num_parked_ increment) + fence +
+    // AnyWorkVisible recheck.  Either we see its increment here, or it sees
+    // our push there — a push can no longer race a parking worker into a
+    // mutual miss.  (Without the fence, x86 store-buffer forwarding lets
+    // both sides read stale values and the push sleeps until kParkTimeout —
+    // the lost-wakeup window this closes.)  Still one fence and one branch
+    // on the fast path; no locks.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // On a single CPU (!wake_eagerly_) we only wake when *every* worker is
+    // parked: this worker is awake and will dispatch the push itself, so
+    // waking a thief just burns two futex round-trips to time-slice one
+    // processor.
     const int parked = num_parked_.load(std::memory_order_relaxed);
     if (parked > 0 &&
         (wake_eagerly_ || parked >= static_cast<int>(workers_.size()))) {
@@ -496,9 +541,10 @@ void FiberPool::ParkWorker(Worker* w) {
   w->parked.store(true, std::memory_order_relaxed);
   num_parked_.fetch_add(1, std::memory_order_seq_cst);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  // Recheck after publishing.  This closes the race against overflow pushes
-  // (their fence+load pairs with our increment); worker-local pushes skip
-  // the fence, so the timed wait below is their backstop.
+  // Recheck after publishing.  This closes the race against *every* push —
+  // worker-local and external both fence before loading num_parked_, so
+  // either their load sees our increment (they wake us) or this recheck
+  // sees their work.
   if (AnyWorkVisible(w) || stopping_.load(std::memory_order_relaxed)) {
     bool expected = true;
     if (w->parked.compare_exchange_strong(expected, false,
@@ -530,6 +576,12 @@ void FiberPool::ParkWorker(Worker* w) {
     if (w->parked.compare_exchange_strong(expected, false,
                                           std::memory_order_seq_cst)) {
       num_parked_.fetch_sub(1, std::memory_order_relaxed);
+      // A genuine timeout that finds visible work means a push failed to
+      // wake anyone — exactly the lost wakeup the Dekker handshake rules
+      // out.  Count it so tests can assert it never happens.
+      if (!stopping_.load(std::memory_order_relaxed) && AnyWorkVisible(w)) {
+        Bump(w->timeout_rescues);
+      }
     }
     // else a waker claimed us concurrently; its `notified` flag stays set
     // and the next park consumes it as a spurious wake.
@@ -549,6 +601,14 @@ internal::Fiber* FiberPool::PopRunnable(Worker* w) {
           (f = PopOverflow(w)) != nullptr) {
         return f;
       }
+      // Promotion tick (the native heartbeat): a busy worker periodically
+      // turns its oldest lazy frame into a real fiber so outstanding
+      // parallelism cannot sit unpromoted behind a long local run.  The
+      // relaxed gate keeps this off the hot path when SpawnLazy is unused.
+      if (lazy_outstanding_.load(std::memory_order_relaxed) > 0 &&
+          w->tick % kLazyTickPeriod == 0) {
+        PromoteOneLazy(w);
+      }
       // Local dispatch takes the *oldest* fiber (a take from our own top):
       // FIFO locally means yielders alternate instead of re-running LIFO,
       // and a join-woken fiber runs after the work it is waiting on rather
@@ -564,6 +624,14 @@ internal::Fiber* FiberPool::PopRunnable(Worker* w) {
       }
       if ((f = TrySteal(w)) != nullptr) {
         return f;
+      }
+      // Dry worker: promote a lazy frame before spinning or parking — the
+      // steal-side promotion that makes lazy spawns real parallelism the
+      // moment a processor wants work, and the drain that guarantees no
+      // worker parks while frames are outstanding.
+      if (lazy_outstanding_.load(std::memory_order_relaxed) > 0 &&
+          PromoteOneLazy(w)) {
+        continue;  // the promoted fiber is on our own deque now
       }
       // Local deque dry and first scan missed: spin briefly before
       // blocking — but only as *the* searching worker (the same token
@@ -753,6 +821,111 @@ void FiberPool::Join(FiberHandle handle) {
   target->ext_waiters.fetch_sub(1, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Lazy (pcall) spawning — the native heartbeat-promotion analogue.
+// ---------------------------------------------------------------------------
+
+LazyHandle FiberPool::SpawnLazy(std::function<void()> fn) {
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(
+      state != nullptr && state->pool == this && state->current != nullptr,
+      "SpawnLazy must be called from a fiber of this pool");
+  Worker* w = state->worker;
+  auto* task = new internal::LazyTask;
+  task->fn = std::move(fn);
+  task->seq = lazy_seq_.fetch_add(1, std::memory_order_relaxed);
+  task->owner = w;
+  {
+    std::lock_guard<SpinLock> g(w->lazy_mu);
+    w->lazy_frames.push_back(task);
+  }
+  lazy_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  Bump(w->lazy_spawns);
+  SA_TRACE_EMIT(tracer_, trace::cat::kHeartbeat, trace::Kind::kHbLazyFork,
+                trace::HostNow(), w->index, -1, task->seq, 0);
+  return LazyHandle(task);
+}
+
+bool FiberPool::PromoteOneLazy(Worker* w) {
+  // Best-effort oldest-first: peek every promotion stack's front stamp,
+  // then take from the oldest.  The stack may change between the peek and
+  // the take (frames only move under their owner's lazy_mu), in which case
+  // we still take that owner's current oldest — strict global order is a
+  // property the simulated layer tests, not worth a global lock here.
+  Worker* best = nullptr;
+  uint64_t best_seq = ~uint64_t{0};
+  for (auto& vp : workers_) {
+    Worker* v = vp.get();
+    std::lock_guard<SpinLock> g(v->lazy_mu);
+    if (!v->lazy_frames.empty() && v->lazy_frames.front()->seq < best_seq) {
+      best_seq = v->lazy_frames.front()->seq;
+      best = v;
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  uint64_t seq = 0;
+  {
+    std::lock_guard<SpinLock> g(best->lazy_mu);
+    if (best->lazy_frames.empty()) {
+      return false;
+    }
+    internal::LazyTask* task = best->lazy_frames.front();
+    best->lazy_frames.pop_front();
+    lazy_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    seq = task->seq;
+    // Spawn while still holding lazy_mu: JoinLazy must never find the frame
+    // gone with the handle not yet set.  We are on `w`'s thread, so the new
+    // fiber lands on `w`'s own deque — a dry promoter keeps what it took.
+    task->handle = Spawn(std::move(task->fn));
+    task->promoted = true;
+    // `task` is unreachable for us past this block: the joiner owns it.
+  }
+  Bump(w->lazy_promotions);
+  SA_TRACE_EMIT(tracer_, trace::cat::kHeartbeat, trace::Kind::kHbPromote,
+                trace::HostNow(), w->index, -1, seq, 0);
+  return true;
+}
+
+void FiberPool::JoinLazy(LazyHandle handle) {
+  internal::LazyTask* task = handle.task_;
+  SA_CHECK_MSG(task != nullptr, "joining a null lazy handle");
+  WorkerState* state = tls_worker;
+  SA_CHECK_MSG(
+      state != nullptr && state->pool == this && state->current != nullptr,
+      "JoinLazy must be called from a fiber of this pool");
+  Worker* owner = task->owner;
+  bool inline_run = false;
+  {
+    std::lock_guard<SpinLock> g(owner->lazy_mu);
+    if (!task->promoted) {
+      auto& frames = owner->lazy_frames;
+      auto it = std::find(frames.begin(), frames.end(), task);
+      SA_CHECK_MSG(it != frames.end(),
+                   "lazy task neither pending nor promoted (double join?)");
+      frames.erase(it);
+      lazy_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      inline_run = true;
+    }
+  }
+  if (inline_run) {
+    // The pcall payoff: nobody wanted the parallelism, so the child runs
+    // right here on the joining fiber's stack — spawn + join collapsed to
+    // a procedure call, no fiber, no deque, no wakeup.
+    Bump(state->worker->lazy_inlines);
+    SA_TRACE_EMIT(tracer_, trace::cat::kHeartbeat, trace::Kind::kHbInline,
+                  trace::HostNow(), state->worker->index, -1, task->seq, 0);
+    std::function<void()> fn = std::move(task->fn);
+    delete task;
+    fn();
+    return;
+  }
+  const FiberHandle h = task->handle;
+  delete task;
+  Join(h);
+}
+
 uint64_t FiberPool::switches() const {
   uint64_t total = 0;
   for (const auto& wp : workers_) {
@@ -772,6 +945,10 @@ FiberPoolStats FiberPool::stats() const {
     s.remote_steals += wp->remote_steals.load(std::memory_order_relaxed);
     s.parks += wp->parks.load(std::memory_order_relaxed);
     s.wakeups += wp->wakeups.load(std::memory_order_relaxed);
+    s.lazy_spawns += wp->lazy_spawns.load(std::memory_order_relaxed);
+    s.lazy_promotions += wp->lazy_promotions.load(std::memory_order_relaxed);
+    s.lazy_inlines += wp->lazy_inlines.load(std::memory_order_relaxed);
+    s.timeout_rescues += wp->timeout_rescues.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -68,6 +68,7 @@ struct Fiber {
 };
 
 struct WorkerState;  // per-kernel-thread scheduler state (fiber_pool.cc)
+struct LazyTask;     // an unpromoted lazy spawn (fiber_pool.cc)
 
 }  // namespace internal
 
@@ -84,6 +85,18 @@ class FiberHandle {
   uint64_t generation_ = 0;
 };
 
+// Handle to a lazily spawned task (SpawnLazy); must be passed to JoinLazy
+// exactly once — the join is what runs a never-promoted task.
+class LazyHandle {
+ public:
+  LazyHandle() = default;
+
+ private:
+  friend class FiberPool;
+  explicit LazyHandle(internal::LazyTask* task) : task_(task) {}
+  internal::LazyTask* task_ = nullptr;
+};
+
 // Aggregated scheduler counters (summed across workers); see stats().
 struct FiberPoolStats {
   uint64_t local_pops = 0;     // fibers taken from the owner's own deque
@@ -96,6 +109,16 @@ struct FiberPoolStats {
   // workers_per_socket > 0 (local_steals + remote_steals == steals then).
   uint64_t local_steals = 0;   // victim in the thief's worker group
   uint64_t remote_steals = 0;  // steal crossed worker groups
+  // Lazy (pcall) spawning — see SpawnLazy.  Every lazy_spawn resolves as
+  // exactly one of {lazy_promotions, lazy_inlines}.
+  uint64_t lazy_spawns = 0;      // frames pushed by SpawnLazy
+  uint64_t lazy_promotions = 0;  // frames promoted into real fibers
+  uint64_t lazy_inlines = 0;     // frames run inline by JoinLazy
+  // Timed parks that woke to visible work no push had signalled.  With the
+  // push/park Dekker handshake in place this must stay zero; a nonzero count
+  // means a lost wakeup happened and only the timeout backstop saved it
+  // (regression canary for the fiber_lost_wakeup_test).
+  uint64_t timeout_rescues = 0;
 };
 
 // Construction options.  workers_per_socket > 0 partitions workers into
@@ -106,6 +129,12 @@ struct FiberPoolStats {
 struct FiberPoolOptions {
   size_t stack_size = 128 * 1024;  // per-fiber stack
   int workers_per_socket = 0;
+  // Whether worker-local pushes wake a parked worker whenever one exists:
+  // -1 = auto (eager on multi-CPU hosts, conservative on one CPU — the
+  // pusher will dispatch its own push, so a wake just time-slices one
+  // processor), 0 = conservative, 1 = eager.  Tests force 1 to exercise the
+  // push/park wakeup handshake deterministically regardless of host shape.
+  int wake_eagerly = -1;
 };
 
 class FiberPool {
@@ -126,6 +155,23 @@ class FiberPool {
   // fiber, the worker keeps running others) or from an external thread
   // (blocks the thread).
   void Join(FiberHandle handle);
+
+  // Lazy (pcall) spawn — the native analogue of the simulated heartbeat
+  // promotion (DESIGN.md §17).  The task starts as a frame on the calling
+  // worker's promotion stack, not a fiber: no stack allocation, no deque
+  // push, no wakeup.  It becomes a real fiber only if promoted — by the
+  // owner's dispatch-loop tick (the native stand-in for the heartbeat), by
+  // a worker that runs dry (steal-side promotion), or by the pre-park drain
+  // (no worker parks while frames are outstanding).  Must be called from a
+  // fiber of this pool.
+  LazyHandle SpawnLazy(std::function<void()> fn);
+
+  // Resolves a lazy spawn: runs a still-unpromoted task inline on the
+  // calling fiber's stack (a plain procedure call — the entire point), or
+  // joins the promoted fiber.  Must be called exactly once per handle, from
+  // a fiber of this pool.  Join the newest spawns first so unpromoted
+  // frames inline while thieves take the oldest.
+  void JoinLazy(LazyHandle handle);
 
   // From inside a fiber: give up the processor to another runnable fiber.
   static void Yield();
@@ -173,6 +219,7 @@ class FiberPool {
   friend class FiberMutex;
   friend class FiberSemaphore;
   friend struct internal::WorkerState;  // names the private Worker type
+  friend struct internal::LazyTask;     // likewise (owning worker pointer)
   struct Worker;
   static void FiberMain(void* arg);
 
@@ -182,6 +229,9 @@ class FiberPool {
   internal::Fiber* PopRunnable(Worker* w);
   internal::Fiber* PopOverflow(Worker* w);
   internal::Fiber* TrySteal(Worker* w);
+  // Promotes one outstanding lazy frame (oldest-first, own stack preferred)
+  // into a real fiber on `w`'s deque.  Returns false if none was pending.
+  bool PromoteOneLazy(Worker* w);
   bool AnyWorkVisible(const Worker* w) const;
   void ParkWorker(Worker* w);
   void WakeOne();
@@ -213,6 +263,10 @@ class FiberPool {
   // worker ever blocks in a real syscall.
   bool wake_eagerly_ = true;
   std::atomic<size_t> overflow_size_{0};
+  // Outstanding lazy frames across all workers: the single relaxed load
+  // that keeps SpawnLazy entirely off the dispatch hot path when unused.
+  std::atomic<int64_t> lazy_outstanding_{0};
+  std::atomic<uint64_t> lazy_seq_{0};  // global age stamp (oldest-first)
   // Fibers spawned from non-worker threads; worker-side spawns and all
   // completions are tracked in per-worker deltas (summed at destruction).
   std::atomic<int64_t> live_external_{0};

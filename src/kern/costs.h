@@ -73,6 +73,16 @@ struct CostModel {
   sim::Duration ult_lock_release = sim::Nsec(1000);
   // Scan of other processors' ready lists when the local one is empty.
   sim::Duration ult_steal_scan = sim::Usec(4);
+  // Heartbeat-promoted lazy forking (DESIGN.md §17).  A lazy fork pushes a
+  // sequential-call-sized frame on the per-processor promotion stack instead
+  // of materializing a TCB; a join that finds the frame unpromoted runs the
+  // child inline for a procedure-call-scale transfer.  The full
+  // ult_fork_prep (plus backend fork overhead) is charged only if and when a
+  // frame is promoted into a real thread.
+  // Two stores and a sequence stamp — a small fraction of procedure_call
+  // (7 us in this model), which is the entire economic point.
+  sim::Duration ult_lazy_push = sim::Usec(1);
+  sim::Duration ult_lazy_inline = sim::Usec(1);  // unpromote + inline transfer
 
   // ---- FastThreads on scheduler activations (Section 5.1, Table 4) ----
   // +3 us on fork: increment/decrement the count of busy threads and decide

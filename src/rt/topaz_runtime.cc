@@ -14,6 +14,8 @@ const char* OpKindName(OpKind kind) {
       return "compute";
     case OpKind::kFork:
       return "fork";
+    case OpKind::kForkLazy:
+      return "fork-lazy";
     case OpKind::kJoin:
       return "join";
     case OpKind::kAcquire:
@@ -132,6 +134,10 @@ void TopazRuntime::Interpret(WorkThread* w) {
       break;
     }
 
+    // Kernel threads have no promotion stack: a lazy fork is a plain fork
+    // (the lazy API is a hint; its sequential-by-default economics need the
+    // user-level frame machinery).
+    case OpKind::kForkLazy:
     case OpKind::kFork: {
       WorkThread* child = table_.Create(op.fork_fn, op.fork_name);
       kern::KThread* child_kt = kernel_->CreateThread(as_, this, child);

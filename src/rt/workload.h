@@ -40,6 +40,7 @@ enum class OpKind {
   kNone,
   kCompute,     // busy computation for `duration`
   kFork,        // create a thread running `fork_fn`
+  kForkLazy,    // lazy fork: push a promotable frame for `fork_fn` (pcall)
   kJoin,        // wait for thread `target_tid` to finish
   kAcquire,     // acquire lock `sync_id`
   kRelease,     // release lock `sync_id`
@@ -176,6 +177,21 @@ class ThreadCtx {
     op.fork_fn = std::move(fn);
     op.fork_name = std::move(name);
     op.fork_priority = priority;
+    return ForkAwait{this};
+  }
+
+  // Lazy fork (pcall): the child is sequential by default — a frame on the
+  // forking processor's promotion stack, promoted into a real thread by the
+  // heartbeat or by a work-stealing processor, or run inline when this
+  // thread Joins it first (DESIGN.md §17).  Returns the child's tid; every
+  // lazily forked child MUST eventually be Joined, since the join is what
+  // runs a never-promoted frame.  Runtimes without a promotion stack
+  // (kernel-thread systems) treat this as a plain Fork.
+  ForkAwait ForkLazy(WorkloadFn fn, std::string name = "") {
+    op.kind = OpKind::kForkLazy;
+    op.fork_fn = std::move(fn);
+    op.fork_name = std::move(name);
+    op.fork_priority = 0;  // lazy frames carry no priority (promoted at 0)
     return ForkAwait{this};
   }
 

@@ -74,6 +74,9 @@ const char* KindName(Kind kind) {
     case Kind::kLoanAdopt: return "loan-adopt";
     case Kind::kLoanYieldHint: return "loan-yield-hint";
     case Kind::kLoanDeadlinePing: return "loan-deadline-ping";
+    case Kind::kHbLazyFork: return "hb-lazy-fork";
+    case Kind::kHbPromote: return "hb-promote";
+    case Kind::kHbInline: return "hb-inline";
   }
   return "?";
 }

@@ -41,6 +41,7 @@ inline constexpr uint32_t kInject = 1u << 6;     // fault-injection layer
 inline constexpr uint32_t kLifecycle = 1u << 7;  // address-space teardown/reap
 inline constexpr uint32_t kLocality = 1u << 8;   // topology: migrations, locality
 inline constexpr uint32_t kLending = 1u << 9;    // cross-space processor loans
+inline constexpr uint32_t kHeartbeat = 1u << 10;  // lazy-fork promotion
 inline constexpr uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -148,6 +149,25 @@ enum class Kind : uint16_t {
                              // arg1 = borrower space id
   kLoanYieldHint = 149,      // accepted SA yield-hint downcall; arg1 = cpu
   kLoanDeadlinePing = 150,   // unanswered reclaim deadline; arg1 = ping
+
+  // cat::kHeartbeat — heartbeat-promoted lazy forking (DESIGN.md §17).
+  // Emitted only when an application uses the lazy-fork API, so seeded
+  // traces of eager-fork runs are byte-identical with the feature compiled
+  // in (and with UltConfig::heartbeat_us set but unused).
+  kHbLazyFork = 160,  // frame pushed; arg0 = child tid, arg1 = frame seq
+  kHbPromote = 161,   // frame became a real thread/fiber; arg0 = child tid,
+                      // arg1 = source (HbPromoteSource)
+  kHbInline = 162,    // unpromoted frame ran inline at join; arg0 = child tid
+};
+
+// arg1 of kHbPromote.
+enum class HbPromoteSource : uint64_t {
+  kBeat = 0,   // the virtual-time heartbeat picked the oldest frame
+  kSteal = 1,  // a work-stealing processor promoted instead of going idle
+  kTick = 2,   // native pool: per-worker dispatch-loop tick
+  kDrain = 3,  // a dry/idle processor drained a frame outside stealing:
+               // native pool pre-park drain, or a ULT push that found an
+               // idle-spinning vcpu
 };
 
 // arg1 of kLoanReturn.

@@ -33,6 +33,16 @@ struct UltConfig {
   // scan, byte-identical on seeded traces.  No effect on flat machines.
   bool locality_aware_stealing = false;
 
+  // Heartbeat-promoted lazy forking (DESIGN.md §17): every heartbeat_us of
+  // virtual time with unpromoted lazy-fork frames outstanding, the oldest
+  // frame anywhere in the space is promoted into a real thread.  0 disables
+  // the beat (frames still promote on demand: a work-stealing processor that
+  // finds every ready list empty promotes the oldest frame rather than going
+  // idle, and a join that reaches an unpromoted frame runs it inline).  The
+  // beat is armed only while frames are outstanding, so runs that never call
+  // ForkLazy are byte-identical on seeded traces regardless of this value.
+  int64_t heartbeat_us = 0;
+
   // Cross-space lending (DESIGN.md §16): an idle virtual processor offers
   // its physical processor to the kernel's loan pool (yield-hint downcall)
   // after costs().lend_hint_hysteresis, well before the Section 4.2 idle

@@ -69,14 +69,17 @@ Tcb* FastThreads::AllocTcb(Vcpu* v, rt::WorkThread* w) {
   t->waiting_lock = nullptr;
   t->actively_spinning = false;
   t->resume_check = false;
+  t->lazy_promote_charge = 0;
   t->saved.Clear();
   w->impl = t;
   return t;
 }
 
 void FastThreads::FreeTcb(Vcpu* v, Tcb* t) {
+  SA_CHECK_MSG(t->work_stack.empty(), "freeing a TCB mid inline (pcall) body");
   t->state = Tcb::State::kFree;
   t->work = nullptr;
+  t->lazy_promote_charge = 0;
   v->free_tcbs.push_back(t);
 }
 
@@ -93,6 +96,8 @@ Tcb* FastThreads::SpawnThread(rt::WorkThread* w) {
 
 void FastThreads::Halt() {
   halted_ = true;
+  heartbeat_.Cancel();
+  hb_armed_ = false;
 }
 
 void FastThreads::ParkHalted(Vcpu* v) {
@@ -115,6 +120,7 @@ void FastThreads::ChargeMgmt(Vcpu* v, sim::Duration d, std::function<void()> fn)
     return;
   }
   SA_CHECK(v->bound);
+  counters_.mgmt_time += d;
   // Internal critical sections are modelled as non-preemptible management
   // spans (see header comment); interrupts latch and fire at the next
   // preemptible boundary.
@@ -257,6 +263,21 @@ Tcb* FastThreads::Steal(Vcpu* v, sim::Duration* penalty) {
       return t;
     }
   }
+  // Steal-triggered promotion (DESIGN.md §17): every ready list is dry, but
+  // unpromoted lazy-fork frames are latent parallelism.  Promote the
+  // globally oldest frame to this processor rather than going idle — a
+  // thief never sees (or races) a raw frame, only TCBs on ready lists.
+  if (lazy_outstanding_ > 0) {
+    LazyFrame frame;
+    Vcpu* owner = nullptr;
+    if (PopOldestLazyFrame(&frame, &owner)) {
+      Tcb* t = PromoteFrame(frame, v, trace::HbPromoteSource::kSteal,
+                            v->bound ? v->proc()->id() : -1);
+      t->state = Tcb::State::kReady;  // dispatched by our caller momentarily
+      *penalty += NoteSteal(v, owner);
+      return t;
+    }
+  }
   return nullptr;
 }
 
@@ -315,13 +336,17 @@ void FastThreads::Dispatch(Vcpu* v) {
                  static_cast<uint64_t>(v->index), QueuedReady());
       }
       ChargeMgmt(v, kernel_->costs().ult_steal_scan + steal_penalty, [this, v, stolen] {
+        // A promoted lazy frame carries its deferred fork cost
+        // (lazy_promote_charge); the first dispatch pays it.
         const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                                     stolen->lazy_promote_charge +
                                      (stolen->resume_check
                                           ? backend_->ResumeCheckOverhead()
                                           : 0);
         ChargeMgmt(v, charge, [this, v, stolen] {
           ++counters_.dispatches;
           stolen->resume_check = false;
+          stolen->lazy_promote_charge = 0;
           ContinueThread(v, stolen);
         });
       });
@@ -345,10 +370,12 @@ void FastThreads::Dispatch(Vcpu* v) {
              static_cast<uint64_t>(v->index), QueuedReady());
   }
   const sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                               next->lazy_promote_charge +
                                (next->resume_check ? backend_->ResumeCheckOverhead() : 0);
   ChargeMgmt(v, charge, [this, v, next] {
     ++counters_.dispatches;
     next->resume_check = false;
+    next->lazy_promote_charge = 0;
     ContinueThread(v, next);
   });
 }
@@ -384,6 +411,7 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
   }
   owner->ready.Remove(best);
   sim::Duration charge = kernel_->costs().ult_dispatch + FlagCs(1) +
+                         best->lazy_promote_charge +
                          (best->resume_check ? backend_->ResumeCheckOverhead() : 0);
   if (owner != v) {
     ++counters_.steals;
@@ -402,6 +430,7 @@ void FastThreads::DispatchByPriority(Vcpu* v) {
   ChargeMgmt(v, charge, [this, v, best] {
     ++counters_.dispatches;
     best->resume_check = false;
+    best->lazy_promote_charge = 0;
     ContinueThread(v, best);
   });
 }
@@ -561,6 +590,9 @@ void FastThreads::Interpret(Tcb* t) {
     case rt::OpKind::kFork:
       DoFork(t);
       break;
+    case rt::OpKind::kForkLazy:
+      DoForkLazy(t);
+      break;
     case rt::OpKind::kJoin:
       DoJoin(t);
       break;
@@ -617,6 +649,11 @@ void FastThreads::DoFork(Tcb* parent) {
       table_.Create(parent->work->ctx.op.fork_fn, parent->work->ctx.op.fork_name);
   const sim::Duration charge =
       kernel_->costs().ult_fork_prep + backend_->ForkOverhead() + FlagCs(2);
+  // Per-fork lifecycle attribution: every eager fork is dispatched fresh
+  // exactly once and exits exactly once, so those costs are part of what a
+  // fork *buys* and what lazy inlining avoids.
+  counters_.fork_time +=
+      charge + kernel_->costs().ult_dispatch + kernel_->costs().ult_exit;
   const int child_priority = parent->work->ctx.op.fork_priority;
   ChargeMgmt(v, charge, [this, parent, child_work, child_priority] {
     Vcpu* v2 = parent->vcpu;
@@ -633,14 +670,207 @@ void FastThreads::DoFork(Tcb* parent) {
   });
 }
 
+// Heartbeat promotion (DESIGN.md §17).
+// ---------------------------------------------------------------------------
+
+void FastThreads::DoForkLazy(Tcb* parent) {
+  Vcpu* v = parent->vcpu;
+  rt::WorkThread* child_work =
+      table_.Create(parent->work->ctx.op.fork_fn, parent->work->ctx.op.fork_name);
+  // Sequential-by-default: no TCB, no enqueue, no parallelism downcall —
+  // just a frame on this processor's promotion stack, at procedure-call
+  // scale.  The full fork cost is deferred to promotion (if any).
+  counters_.fork_time += kernel_->costs().ult_lazy_push + FlagCs(1);
+  ChargeMgmt(v, kernel_->costs().ult_lazy_push + FlagCs(1),
+             [this, parent, child_work] {
+               Vcpu* v2 = parent->vcpu;
+               const uint64_t seq = lazy_seq_++;
+               v2->lazy_frames.push_back(LazyFrame{child_work, seq});
+               ++lazy_outstanding_;
+               ++counters_.lazy_forks;
+               kernel_->engine().TraceEmit(
+                   trace::cat::kHeartbeat, trace::Kind::kHbLazyFork,
+                   v2->bound ? v2->proc()->id() : -1, as_->id(),
+                   static_cast<uint64_t>(child_work->tid()), seq);
+               ArmHeartbeat();
+               // Latent parallelism becomes real the moment a processor has
+               // nothing to do: pushing a frame never wakes anyone, so an
+               // already-idle vcpu would otherwise sit until the next beat.
+               PromoteForIdleVcpu();
+               parent->work->ctx.last_forked_tid = child_work->tid();
+               StepAndInterpret(parent);
+             });
+}
+
+void FastThreads::PromoteForIdleVcpu() {
+  for (auto& w : vcpus_) {
+    if (!w->bound || !w->idle_spinning || !w->proc()->span_open()) {
+      continue;
+    }
+    LazyFrame frame;
+    Vcpu* owner = nullptr;
+    if (!PopOldestLazyFrame(&frame, &owner)) {
+      return;
+    }
+    Tcb* t = PromoteFrame(frame, owner, trace::HbPromoteSource::kDrain,
+                          w->proc()->id());
+    EnqueueReady(owner, t);  // finds the idle vcpu and wakes it
+    return;
+  }
+}
+
+bool FastThreads::TakeLazyFrame(int tid, LazyFrame* out) {
+  for (auto& v : vcpus_) {
+    for (auto it = v->lazy_frames.begin(); it != v->lazy_frames.end(); ++it) {
+      if (it->work->tid() == tid) {
+        *out = *it;
+        v->lazy_frames.erase(it);
+        --lazy_outstanding_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool FastThreads::PopOldestLazyFrame(LazyFrame* out, Vcpu** owner) {
+  Vcpu* best = nullptr;
+  for (auto& v : vcpus_) {
+    if (v->lazy_frames.empty()) {
+      continue;
+    }
+    if (best == nullptr ||
+        v->lazy_frames.front().seq < best->lazy_frames.front().seq) {
+      best = v.get();
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  *out = best->lazy_frames.front();
+  best->lazy_frames.erase(best->lazy_frames.begin());
+  *owner = best;
+  --lazy_outstanding_;
+  return true;
+}
+
+Tcb* FastThreads::PromoteFrame(const LazyFrame& frame, Vcpu* home,
+                               trace::HbPromoteSource source, int promoting_cpu) {
+  Tcb* t = AllocTcb(home, frame.work);
+  // The deferred fork: TCB allocation + enqueue, exactly what DoFork charges
+  // up front.  Carried on the TCB and paid at its first dispatch (promotion
+  // itself runs asynchronously — there is no open span to charge here).
+  t->lazy_promote_charge =
+      kernel_->costs().ult_fork_prep + backend_->ForkOverhead() + FlagCs(2);
+  counters_.fork_time += t->lazy_promote_charge +  // paid at first dispatch
+                         kernel_->costs().ult_dispatch +
+                         kernel_->costs().ult_exit;
+  ++runnable_;
+  // Processor-demand promotions (a dry stealer, or an idle vcpu noticed at
+  // push time) vs rate-limited heartbeat promotions.
+  if (source == trace::HbPromoteSource::kBeat) {
+    ++counters_.lazy_promotions;
+  } else {
+    ++counters_.lazy_steal_promotions;
+  }
+  kernel_->engine().TraceEmit(trace::cat::kHeartbeat, trace::Kind::kHbPromote,
+                              promoting_cpu, as_->id(),
+                              static_cast<uint64_t>(frame.work->tid()),
+                              static_cast<uint64_t>(source));
+  return t;
+}
+
+void FastThreads::ArmHeartbeat() {
+  if (hb_armed_ || config_.heartbeat_us <= 0 || halted_) {
+    return;
+  }
+  hb_armed_ = true;
+  heartbeat_ = kernel_->engine().ScheduleAfter(
+      sim::Usec(config_.heartbeat_us), [this] { OnHeartbeat(); });
+}
+
+void FastThreads::OnHeartbeat() {
+  hb_armed_ = false;
+  if (halted_ || lazy_outstanding_ == 0) {
+    return;  // nothing to promote; re-armed by the next lazy fork
+  }
+  LazyFrame frame;
+  Vcpu* owner = nullptr;
+  SA_CHECK(PopOldestLazyFrame(&frame, &owner));
+  Tcb* t = PromoteFrame(frame, owner, trace::HbPromoteSource::kBeat,
+                        owner->bound ? owner->proc()->id() : -1);
+  EnqueueReady(owner, t);
+  if (lazy_outstanding_ > 0) {
+    ArmHeartbeat();
+  }
+}
+
+void FastThreads::DoneInline(Tcb* t) {
+  Vcpu* v = t->vcpu;
+  rt::WorkThread* child = t->work;
+  // Inline (pcall) return: pop back to the caller body at procedure-return
+  // scale.  Joiners other than the inliner (threads that blocked on this tid
+  // after the frame was taken) are woken exactly as a real exit would.
+  const sim::Duration charge =
+      kernel_->costs().ult_lazy_inline +
+      static_cast<sim::Duration>(child->joiners.size()) * kernel_->costs().ult_signal;
+  counters_.fork_time += charge;
+  ChargeMgmt(v, charge, [this, t, child] {
+    Vcpu* v2 = t->vcpu;
+    child->finished = true;
+    table_.NoteFinished();
+    for (rt::WorkThread* jw : child->joiners) {
+      Tcb* joiner = static_cast<Tcb*>(jw->impl);
+      ++runnable_;
+      joiner->resume_check = true;
+      EnqueueReady(v2, joiner);
+    }
+    child->joiners.clear();
+    child->impl = nullptr;
+    t->work = t->work_stack.back();
+    t->work_stack.pop_back();
+    // The caller was suspended at its Join of this child; the inline return
+    // satisfies it (a procedure return), so continue the caller directly.
+    StepAndInterpret(t);
+  });
+}
+
+// ---------------------------------------------------------------------------
+
 void FastThreads::DoJoin(Tcb* t) {
   Vcpu* v = t->vcpu;
-  rt::WorkThread* target = table_.Get(t->work->ctx.op.target_tid);
+  const int target_tid = t->work->ctx.op.target_tid;
+  rt::WorkThread* target = table_.Get(target_tid);
   if (target->finished) {
+    counters_.fork_time += kernel_->costs().procedure_call;
     ChargeMgmt(v, kernel_->costs().procedure_call, [this, t] { StepAndInterpret(t); });
     return;
   }
+  if (lazy_outstanding_ > 0) {
+    LazyFrame frame;
+    if (TakeLazyFrame(target_tid, &frame)) {
+      // The join reached an unpromoted frame: run the child inline on this
+      // TCB (pcall semantics) — the fork+join pair collapses to a procedure
+      // call, which is the entire economic point of lazy forking.
+      ++counters_.lazy_inlines;
+      kernel_->engine().TraceEmit(trace::cat::kHeartbeat, trace::Kind::kHbInline,
+                                  v->bound ? v->proc()->id() : -1, as_->id(),
+                                  static_cast<uint64_t>(target_tid), frame.seq);
+      rt::WorkThread* child = frame.work;
+      counters_.fork_time += kernel_->costs().ult_lazy_inline + FlagCs(1);
+      ChargeMgmt(v, kernel_->costs().ult_lazy_inline + FlagCs(1),
+                 [this, t, child] {
+                   t->work_stack.push_back(t->work);
+                   t->work = child;
+                   child->impl = t;
+                   StepAndInterpret(t);
+                 });
+      return;
+    }
+  }
   const sim::Duration charge = kernel_->costs().ult_wait + backend_->WaitOverhead();
+  counters_.fork_time +=
+      charge + kernel_->costs().ult_signal + kernel_->costs().ult_dispatch;
   ChargeMgmt(v, charge, [this, t, target] {
     Vcpu* v2 = t->vcpu;
     if (target->finished) {  // finished while we were blocking
@@ -833,6 +1063,10 @@ void FastThreads::DoYield(Tcb* t) {
 }
 
 void FastThreads::DoDone(Tcb* t) {
+  if (!t->work_stack.empty()) {
+    DoneInline(t);  // an inline (pcall) body finished, not the TCB itself
+    return;
+  }
   Vcpu* v = t->vcpu;
   rt::WorkThread* w = t->work;
   const sim::Duration charge = kernel_->costs().ult_exit + FlagCs(1) +

@@ -57,6 +57,22 @@ struct UltCounters {
   // policies.  Both stay zero on a flat machine.
   int64_t steals_same_socket = 0;
   int64_t steals_cross_socket = 0;
+  // Heartbeat-promoted lazy forking (DESIGN.md §17).  `forks` counts only
+  // eager forks; a lazy fork counts here and then exactly one of
+  // {promotions, inlines} when resolved.
+  int64_t lazy_forks = 0;
+  int64_t lazy_promotions = 0;        // heartbeat picked the oldest frame
+  // Processor-demand promotions: a dry work-stealer, or an idle vcpu
+  // noticed at frame-push time (both resolve to kSteal/kDrain trace args).
+  int64_t lazy_steal_promotions = 0;
+  int64_t lazy_inlines = 0;           // join ran the unpromoted frame inline
+  // Total virtual time spent in management spans (ChargeMgmt).
+  sim::Duration mgmt_time = 0;
+  // The fork-attributable slice of mgmt_time: eager fork charges, lazy
+  // pushes, inline (pcall) resolution, and deferred promotion charges.
+  // Mode-independent costs (locks, joins, dispatch) are excluded, so
+  // fork_time/tasks is the per-fork overhead bench_heartbeat gates on.
+  sim::Duration fork_time = 0;
 };
 
 class FastThreads {
@@ -169,6 +185,7 @@ class FastThreads {
   friend class UltRuntime;
 
   void DoFork(Tcb* parent);
+  void DoForkLazy(Tcb* parent);
   void DoJoin(Tcb* t);
   void DoAcquire(Tcb* t);
   void DoRelease(Tcb* t);
@@ -180,6 +197,25 @@ class FastThreads {
   void TrySpinAcquire(Vcpu* v, Tcb* t);
   void GrantSpinLock(UltLock* lock);
   void FinishRecovery(Tcb* t);
+
+  // ---- heartbeat promotion (DESIGN.md §17) ----
+  // Removes the frame for `tid` from whichever promotion stack holds it;
+  // returns false if the child was already promoted (or eagerly forked).
+  bool TakeLazyFrame(int tid, LazyFrame* out);
+  // Pops the globally oldest frame (lowest seq).  Returns false if none.
+  bool PopOldestLazyFrame(LazyFrame* out, Vcpu** owner);
+  // Promotes the oldest frame for an idle-spinning vcpu, if both exist.
+  void PromoteForIdleVcpu();
+  // Materializes `frame` into a ready TCB.  The deferred fork cost rides on
+  // the TCB (lazy_promote_charge) and is charged at its first dispatch.
+  Tcb* PromoteFrame(const LazyFrame& frame, Vcpu* owner,
+                    trace::HbPromoteSource source, int promoting_cpu);
+  // Arms the virtual-time beat if enabled and not already pending.
+  void ArmHeartbeat();
+  void OnHeartbeat();
+  // The inline (pcall) completion path of DoDone: the finished body was
+  // running on a joiner's TCB; pop back to the caller body and continue it.
+  void DoneInline(Tcb* t);
 
   Tcb* AllocTcb(Vcpu* v, rt::WorkThread* w);
   void FreeTcb(Vcpu* v, Tcb* t);
@@ -223,6 +259,15 @@ class FastThreads {
   int next_tcb_id_ = 0;
   bool has_priorities_ = false;
   bool halted_ = false;
+
+  // Heartbeat promotion state.  lazy_outstanding_ gates every lazy check on
+  // the hot paths (a single integer compare when the feature is unused);
+  // the beat is armed only while frames are outstanding, so an idle system
+  // drains and seeded eager-only traces stay byte-identical.
+  int64_t lazy_outstanding_ = 0;
+  uint64_t lazy_seq_ = 0;
+  bool hb_armed_ = false;
+  sim::EventHandle heartbeat_;
 };
 
 }  // namespace sa::ult

@@ -56,7 +56,25 @@ struct Tcb {
   // processor on which processing resumes (the recovery may have migrated).
   std::function<void(Vcpu*)> recovery_after;
 
+  // Heartbeat promotion (DESIGN.md §17).  A promoted frame's deferred fork
+  // cost (TCB allocation + enqueue, charged to whoever first dispatches the
+  // thread); zero for eagerly forked threads.
+  sim::Duration lazy_promote_charge = 0;
+  // Bodies this TCB is running inline (pcall): when a Join reaches an
+  // unpromoted frame, the child body runs on the joiner's own TCB and the
+  // suspended caller bodies stack here, innermost caller last.
+  std::vector<rt::WorkThread*> work_stack;
+
   common::ListNode qnode;  // ready list / waiter list membership
+};
+
+// An unpromoted lazy fork (DESIGN.md §17): the child exists only as its
+// WorkThread plus this frame on the forking processor's promotion stack.
+// `seq` is a space-global stamp; promotion always takes the globally oldest
+// frame (lowest seq), the pcall analogue of stealing the shallowest call.
+struct LazyFrame {
+  rt::WorkThread* work = nullptr;
+  uint64_t seq = 0;
 };
 
 struct UltLock {
@@ -94,6 +112,10 @@ struct Vcpu {
   bool idle_notified = false;  // told the kernel this processor is idle
   bool lend_hinted = false;    // offered the processor to the loan pool this
                                // idle episode (one yield hint per episode)
+  // Promotion stack (DESIGN.md §17): unpromoted lazy-fork frames pushed by
+  // threads running here.  Newest at the back; the oldest (front) is what
+  // the heartbeat and steal-side promotion take.
+  std::vector<LazyFrame> lazy_frames;
   sim::EventHandle hysteresis;
 
   hw::Processor* proc() const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <tuple>
 
+#include "src/apps/nbody_workload.h"
 #include "src/apps/synthetic.h"
 #include "src/inject/fault_plan.h"
 #include "src/inject/shrink.h"
@@ -313,6 +314,113 @@ INSTANTIATE_TEST_SUITE_P(Plans, ChurnFaultSweep, ::testing::Range<uint64_t>(1, 9
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Lazy N-body sweep: the recursive ForkLazy port of the real application
+// under random fault plans, with the heartbeat armed and a cache small
+// enough to force I/O blocking mid-tree (DESIGN.md §17).  Every lazy frame
+// must resolve exactly once across the promote/steal/inline races that
+// faults, page misses and daemon preemptions create, and the SA invariants
+// must survive the whole interleaving.
+// ---------------------------------------------------------------------------
+
+SweepOutcome RunLazyNBodyPlan(Sys sys, uint64_t seed, const inject::FaultPlan& plan) {
+  rt::HarnessConfig config;
+  config.processors = 3;
+  config.seed = seed;
+  config.kernel.mode =
+      sys == Sys::kNewFt ? kern::KernelMode::kSchedulerActivations
+                         : kern::KernelMode::kNativeTopaz;
+  rt::Harness h(config);
+  h.EnableFaultInjection(plan);
+  h.set_stall_timeout(sim::Msec(30000) + 100 * plan.ExtraIdleSlack());
+
+  ult::UltConfig uc;
+  uc.max_vcpus = 3;
+  uc.heartbeat_us = 250;
+  auto rt = std::make_unique<ult::UltRuntime>(
+      &h.kernel(), "lazy-nbody",
+      sys == Sys::kOrigFt ? ult::BackendKind::kKernelThreads
+                          : ult::BackendKind::kSchedulerActivations,
+      uc);
+  h.AddRuntime(rt.get());
+  h.AddDaemon("daemon", sim::Msec(3), sim::Usec(300));
+  if (sys == Sys::kNewFt) {
+    h.EnableTracing(trace::cat::kUpcall | trace::cat::kUlt);
+  }
+
+  apps::NBodyConfig nc;
+  nc.bodies = 96;
+  nc.steps = 2;
+  nc.lazy_fork = true;
+  nc.heartbeat_us = 250;       // documents intent; the UltConfig above rules
+  nc.memory_percent = 60.0;    // real cache misses block threads mid-tree
+  nc.miss_latency = sim::Msec(5);
+  nc.seed = seed * 7919 + 3;
+  apps::NBodyApp app(nc);
+  app.set_clock(&h.engine());
+  app.InstallOn(rt.get());
+
+  SweepOutcome outcome;
+  const rt::RunResult result = h.TryRun();
+  if (!result.ok()) {
+    outcome.ok = false;
+    outcome.detail = result.diagnostics;
+    return outcome;
+  }
+  if (!app.done() || rt->threads_finished() != rt->threads_created()) {
+    outcome.ok = false;
+    outcome.detail = "threads lost";
+    return outcome;
+  }
+  const ult::UltCounters& c = rt->fast_threads().counters();
+  if (c.lazy_forks !=
+      c.lazy_promotions + c.lazy_steal_promotions + c.lazy_inlines) {
+    outcome.ok = false;
+    outcome.detail = "lazy frame resolution mismatch";
+    return outcome;
+  }
+#if SA_TRACE_ENABLED
+  if (sys == Sys::kNewFt) {
+    trace::CheckOptions opts;
+    opts.idle_ready_threshold += plan.ExtraIdleSlack();
+    const trace::CheckResult check =
+        trace::CheckInvariants(h.trace()->Snapshot(), opts);
+    if (!check.ok()) {
+      outcome.ok = false;
+      outcome.detail = check.Summary();
+    }
+  }
+#endif
+  return outcome;
+}
+
+class LazyNBodySweep : public ::testing::TestWithParam<std::tuple<Sys, uint64_t>> {};
+
+TEST_P(LazyNBodySweep, SurvivesRandomFaultPlan) {
+  const Sys sys = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  inject::FaultPlan plan = inject::FaultPlan::Random(seed * 131 + 17);
+  plan.io_retries = std::max(plan.io_retries, 6);  // transient failures only
+
+  const SweepOutcome outcome = RunLazyNBodyPlan(sys, seed, plan);
+  if (outcome.ok) {
+    return;
+  }
+  const inject::ShrinkResult shrunk = inject::ShrinkPlan(
+      plan,
+      [&](const inject::FaultPlan& p) { return !RunLazyNBodyPlan(sys, seed, p).ok; });
+  const inject::FaultPlan& culprit = shrunk.failing ? shrunk.plan : plan;
+  ADD_FAILURE() << "lazy n-body sweep failed; minimized reproducer (machine seed "
+                << seed << "):\n  --fault-plan=" << culprit.ToSpec() << "\n"
+                << outcome.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, LazyNBodySweep,
+    ::testing::Combine(::testing::Values(Sys::kOrigFt, Sys::kNewFt),
+                       ::testing::Range<uint64_t>(1, 5)),
+    FuzzName);
 
 }  // namespace
 }  // namespace sa
